@@ -1,0 +1,78 @@
+// Package-level benchmarks: one per figure of the paper's evaluation (the
+// harness that regenerates each experiment, at reduced scale so -bench
+// completes quickly; run cmd/figures for paper-length output), plus
+// microbenchmarks of the DELTA/SIGMA hot paths.
+package deltasigma
+
+import (
+	"testing"
+
+	"deltasigma/internal/scenario"
+)
+
+// benchOptions shrinks experiments so each iteration is ~a second of CPU.
+func benchOptions() scenario.Options {
+	return scenario.Options{Scale: 0.25, Seed: 2003}
+}
+
+func benchFigure(b *testing.B, run func(scenario.Options) *scenario.Result) {
+	b.Helper()
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = 2003 + uint64(i)
+		res := run(opt)
+		if len(res.Series) == 0 && len(res.Curves) == 0 {
+			b.Fatal("figure produced no data")
+		}
+	}
+}
+
+// BenchmarkFig01InflatedSubscription regenerates Figure 1: the attack under
+// plain FLID-DL.
+func BenchmarkFig01InflatedSubscription(b *testing.B) { benchFigure(b, scenario.Fig1) }
+
+// BenchmarkFig07Protection regenerates Figure 7: the same attack defeated
+// by DELTA+SIGMA.
+func BenchmarkFig07Protection(b *testing.B) { benchFigure(b, scenario.Fig7) }
+
+// BenchmarkFig08aThroughputDL regenerates Figure 8(a).
+func BenchmarkFig08aThroughputDL(b *testing.B) { benchFigure(b, scenario.Fig8a) }
+
+// BenchmarkFig08bThroughputDS regenerates Figure 8(b).
+func BenchmarkFig08bThroughputDS(b *testing.B) { benchFigure(b, scenario.Fig8b) }
+
+// BenchmarkFig08cAverageNoCross regenerates Figure 8(c).
+func BenchmarkFig08cAverageNoCross(b *testing.B) { benchFigure(b, scenario.Fig8c) }
+
+// BenchmarkFig08dAverageCross regenerates Figure 8(d).
+func BenchmarkFig08dAverageCross(b *testing.B) { benchFigure(b, scenario.Fig8d) }
+
+// BenchmarkFig08eResponsiveness regenerates Figure 8(e).
+func BenchmarkFig08eResponsiveness(b *testing.B) { benchFigure(b, scenario.Fig8e) }
+
+// BenchmarkFig08fHeterogeneousRTT regenerates Figure 8(f).
+func BenchmarkFig08fHeterogeneousRTT(b *testing.B) { benchFigure(b, scenario.Fig8f) }
+
+// BenchmarkFig08gConvergenceDL regenerates Figure 8(g).
+func BenchmarkFig08gConvergenceDL(b *testing.B) { benchFigure(b, scenario.Fig8g) }
+
+// BenchmarkFig08hConvergenceDS regenerates Figure 8(h).
+func BenchmarkFig08hConvergenceDS(b *testing.B) { benchFigure(b, scenario.Fig8h) }
+
+// BenchmarkFig09aOverheadGroups regenerates Figure 9(a).
+func BenchmarkFig09aOverheadGroups(b *testing.B) { benchFigure(b, scenario.Fig9a) }
+
+// BenchmarkFig09bOverheadSlot regenerates Figure 9(b).
+func BenchmarkFig09bOverheadSlot(b *testing.B) { benchFigure(b, scenario.Fig9b) }
+
+// BenchmarkProtectedSessionSecond measures end-to-end simulator throughput:
+// one protected session, one simulated second per iteration.
+func BenchmarkProtectedSessionSecond(b *testing.B) {
+	exp := NewExperiment(500_000, true, 9)
+	exp.AddSession(2)
+	exp.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Run(Time(i+1) * Second)
+	}
+}

@@ -1,0 +1,222 @@
+// Package deltasigma is a from-scratch reproduction of "Robustness to
+// Inflated Subscription in Multicast Congestion Control" (Gorinsky, Jain,
+// Vin, Zhang — SIGCOMM 2003 / UT Austin TR2003-09): DELTA, the in-band
+// distribution of dynamic group keys to congestion-eligible receivers, and
+// SIGMA, the generic key-checking group-management architecture at edge
+// routers, together with the FLID-DL/FLID-DS protocols, the network
+// simulator they run on, and the full evaluation harness.
+//
+// This root package is the public facade: it re-exports the core types and
+// offers a compact builder for protected multicast experiments. The
+// examples/ directory shows it in use; internal packages carry the
+// machinery (one package per subsystem, see DESIGN.md).
+package deltasigma
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/flid"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+	"deltasigma/internal/topo"
+)
+
+// Re-exported building blocks.
+type (
+	// Session describes a multi-group multicast session (identity, group
+	// address block, rate schedule, slot clock).
+	Session = core.Session
+	// RateSchedule is the multiplicative cumulative layering of §5.1.
+	RateSchedule = core.RateSchedule
+	// Time is a virtual timestamp/duration in nanoseconds.
+	Time = sim.Time
+	// Meter accumulates delivered bytes into time bins.
+	Meter = stats.Meter
+	// Dumbbell is the paper's single-bottleneck topology.
+	Dumbbell = topo.Dumbbell
+	// Host is an end system of the simulated network.
+	Host = netsim.Host
+	// Addr is a network (host or group) address.
+	Addr = packet.Addr
+)
+
+// Virtual time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// PaperSchedule returns the §5.1 rate schedule: 10 groups from 100 Kbps,
+// factor 1.5.
+func PaperSchedule() RateSchedule { return core.PaperSchedule() }
+
+// Experiment is a ready-to-run protected (or baseline) multicast setup on
+// the paper's dumbbell.
+type Experiment struct {
+	// Topology under the experiment.
+	Net *Dumbbell
+	// Protected selects FLID-DS (true) or plain FLID-DL (false).
+	Protected bool
+
+	slot     sim.Time
+	nextID   uint16
+	finished bool
+	sessions []*ExperimentSession
+}
+
+// ExperimentSession is one multicast session within an experiment.
+type ExperimentSession struct {
+	Sess      *Session
+	Sender    *flid.Sender
+	Receivers []*Receiver
+	exp       *Experiment
+}
+
+// Receiver wraps either protocol's receiver behind one interface.
+type Receiver struct {
+	dl  *flid.Receiver
+	ds  *flid.DSReceiver
+	atk interface{ Inflate() }
+}
+
+// Start begins receiving.
+func (r *Receiver) Start() {
+	if r.dl != nil {
+		r.dl.Start()
+	} else {
+		r.ds.Start()
+	}
+}
+
+// Level reports the current subscription level.
+func (r *Receiver) Level() int {
+	if r.dl != nil {
+		return r.dl.Level()
+	}
+	return r.ds.Level()
+}
+
+// Meter returns the receiver's throughput meter.
+func (r *Receiver) Meter() *Meter {
+	if r.dl != nil {
+		return r.dl.Meter
+	}
+	return r.ds.Meter
+}
+
+// Inflate launches the inflated-subscription attack from this receiver (it
+// must have been added with AddAttacker).
+func (r *Receiver) Inflate() {
+	if r.atk != nil {
+		r.atk.Inflate()
+	}
+}
+
+// NewExperiment builds a dumbbell with the given bottleneck capacity in
+// bits/s, protected (FLID-DS) or not (FLID-DL).
+func NewExperiment(bottleneck int64, protected bool, seed uint64) *Experiment {
+	e := &Experiment{
+		Net:       topo.New(topo.PaperConfig(bottleneck, seed)),
+		Protected: protected,
+		slot:      500 * sim.Millisecond,
+	}
+	if protected {
+		e.slot = 250 * sim.Millisecond
+	}
+	return e
+}
+
+// AddSession creates a multicast session with the paper's rate schedule and
+// the given number of well-behaved receivers.
+func (e *Experiment) AddSession(receivers int) *ExperimentSession {
+	e.nextID++
+	sess := &core.Session{
+		ID:         e.nextID,
+		BaseAddr:   packet.MulticastBase + packet.Addr(int(e.nextID)*32),
+		Rates:      core.PaperSchedule(),
+		SlotDur:    e.slot,
+		PacketSize: 576,
+	}
+	src := e.Net.AddSource("")
+	for _, a := range sess.Addrs() {
+		e.Net.Fabric.SetSource(a, src.ID())
+	}
+	mode := flid.DL
+	if e.Protected {
+		mode = flid.DS
+	}
+	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
+	es := &ExperimentSession{
+		Sess:   sess,
+		Sender: flid.NewSender(src, sess, mode, policy, e.Net.RNG.Fork(), nil, 2),
+		exp:    e,
+	}
+	for i := 0; i < receivers; i++ {
+		es.AddReceiver()
+	}
+	e.sessions = append(e.sessions, es)
+	return es
+}
+
+// AddReceiver attaches one more well-behaved receiver to the session.
+func (s *ExperimentSession) AddReceiver() *Receiver {
+	host := s.exp.Net.AddReceiver("")
+	r := &Receiver{}
+	if s.exp.Protected {
+		r.ds = flid.NewDSReceiver(host, s.Sess, s.exp.Net.Right.Addr())
+	} else {
+		r.dl = flid.NewReceiver(host, s.Sess, s.exp.Net.Right.Addr())
+	}
+	s.Receivers = append(s.Receivers, r)
+	return r
+}
+
+// AddAttacker attaches an inflated-subscription attacker to the session.
+func (s *ExperimentSession) AddAttacker() *Receiver {
+	host := s.exp.Net.AddReceiver("")
+	r := &Receiver{}
+	if s.exp.Protected {
+		a := flid.NewDSAttacker(host, s.Sess, s.exp.Net.Right.Addr(), s.exp.Net.RNG.Fork())
+		r.ds = a.DSReceiver
+		r.atk = a
+	} else {
+		a := flid.NewAttacker(host, s.Sess, s.exp.Net.Right.Addr())
+		r.dl = a.Receiver
+		r.atk = a
+	}
+	s.Receivers = append(s.Receivers, r)
+	return r
+}
+
+// Start finalizes wiring (routes, gatekeeper) and starts every sender and
+// receiver at time zero. Call exactly once, before Run.
+func (e *Experiment) Start() {
+	if e.finished {
+		return
+	}
+	e.finished = true
+	e.Net.Done()
+	if e.Protected {
+		sigma.NewController(e.Net.Right, sigma.DefaultConfig(e.slot))
+	} else {
+		mcast.NewIGMP(e.Net.Right)
+	}
+	for _, s := range e.sessions {
+		s := s
+		e.Net.Sched.At(0, func() {
+			s.Sender.Start()
+			for _, r := range s.Receivers {
+				r.Start()
+			}
+		})
+	}
+}
+
+// At schedules fn at virtual time t.
+func (e *Experiment) At(t Time, fn func()) { e.Net.Sched.At(t, fn) }
+
+// Run advances the simulation to the given virtual time.
+func (e *Experiment) Run(until Time) { e.Net.Sched.RunUntil(until) }

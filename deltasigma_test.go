@@ -1,0 +1,57 @@
+package deltasigma
+
+import "testing"
+
+func TestFacadeProtectedSessionRuns(t *testing.T) {
+	e := NewExperiment(250_000, true, 7)
+	s := e.AddSession(1)
+	e.Start()
+	e.Run(40 * Second)
+	r := s.Receivers[0]
+	if r.Level() < 2 {
+		t.Fatalf("level = %d, want convergence toward 3", r.Level())
+	}
+	if avg := r.Meter().AvgKbps(20*Second, 40*Second); avg < 100 {
+		t.Fatalf("throughput %.0f Kbps too low", avg)
+	}
+}
+
+func TestFacadeAttackAndProtection(t *testing.T) {
+	// Baseline: attack profits.
+	base := NewExperiment(500_000, false, 8)
+	s1 := base.AddSession(0)
+	s2 := base.AddSession(1)
+	atk := s1.AddAttacker()
+	base.Start()
+	base.At(20*Second, atk.Inflate)
+	base.Run(50 * Second)
+	atkRate := atk.Meter().AvgKbps(35*Second, 50*Second)
+	victimRate := s2.Receivers[0].Meter().AvgKbps(35*Second, 50*Second)
+	if atkRate < 2*victimRate {
+		t.Fatalf("baseline attack ineffective: %.0f vs %.0f", atkRate, victimRate)
+	}
+
+	// Protected: attack does not profit.
+	prot := NewExperiment(500_000, true, 8)
+	p1 := prot.AddSession(0)
+	p2 := prot.AddSession(1)
+	patk := p1.AddAttacker()
+	prot.Start()
+	prot.At(20*Second, patk.Inflate)
+	prot.Run(50 * Second)
+	pAtk := patk.Meter().AvgKbps(35*Second, 50*Second)
+	pVictim := p2.Receivers[0].Meter().AvgKbps(35*Second, 50*Second)
+	if pAtk > 400 {
+		t.Fatalf("protected attacker at %.0f Kbps", pAtk)
+	}
+	if pVictim < 80 {
+		t.Fatalf("protected victim starved at %.0f Kbps", pVictim)
+	}
+}
+
+func TestFacadePaperSchedule(t *testing.T) {
+	rs := PaperSchedule()
+	if rs.N != 10 || rs.Base != 100_000 {
+		t.Fatalf("unexpected schedule %+v", rs)
+	}
+}

@@ -1,0 +1,104 @@
+package cbr
+
+import (
+	"testing"
+
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+func pair() (*sim.Scheduler, *netsim.Host, *netsim.Host) {
+	sched := sim.NewScheduler()
+	net := netsim.New(sched, sim.NewRNG(1))
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, b, 10_000_000, sim.Millisecond, 1<<20)
+	net.ComputeRoutes()
+	return sched, a, b
+}
+
+func TestConstantRate(t *testing.T) {
+	sched, a, b := pair()
+	s := New(a, b.Addr(), 1, 800_000, 576)
+	sched.At(0, func() { s.Start() })
+	sched.RunUntil(10 * sim.Second)
+	gotBits := float64(b.RecvBytes) * 8
+	want := 800_000 * 10.0
+	if gotBits < 0.99*want || gotBits > 1.01*want {
+		t.Fatalf("delivered %.0f bits over 10s, want ~%.0f", gotBits, want)
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	sched, a, b := pair()
+	s := New(a, b.Addr(), 1, 1_000_000, 576)
+	s.OnPeriod = 5 * sim.Second
+	s.OffPeriod = 5 * sim.Second
+	sched.At(0, func() { s.Start() })
+	sched.RunUntil(20 * sim.Second)
+	// Two full cycles: 10s on of 20s → half the always-on volume.
+	gotBits := float64(b.RecvBytes) * 8
+	want := 1_000_000 * 10.0
+	if gotBits < 0.98*want || gotBits > 1.02*want {
+		t.Fatalf("delivered %.0f bits, want ~%.0f (50%% duty)", gotBits, want)
+	}
+}
+
+func TestOffPeriodIsSilent(t *testing.T) {
+	sched, a, b := pair()
+	s := New(a, b.Addr(), 1, 1_000_000, 576)
+	s.OnPeriod = 1 * sim.Second
+	s.OffPeriod = 1 * sim.Second
+	sched.At(0, func() { s.Start() })
+	sched.RunUntil(1100 * sim.Millisecond)
+	atOffStart := b.RecvBytes
+	sched.RunUntil(1900 * sim.Millisecond)
+	if b.RecvBytes != atOffStart {
+		t.Fatalf("packets delivered during off period: %d -> %d", atOffStart, b.RecvBytes)
+	}
+	sched.RunUntil(2500 * sim.Millisecond)
+	if b.RecvBytes == atOffStart {
+		t.Fatal("source did not resume after off period")
+	}
+}
+
+func TestStopHaltsEmission(t *testing.T) {
+	sched, a, b := pair()
+	s := New(a, b.Addr(), 1, 1_000_000, 576)
+	sched.At(0, func() { s.Start() })
+	sched.At(sim.Second, func() { s.Stop() })
+	sched.RunUntil(5 * sim.Second)
+	gotBits := float64(b.RecvBytes) * 8
+	if gotBits > 1_100_000 {
+		t.Fatalf("source kept sending after Stop: %.0f bits", gotBits)
+	}
+	if s.PacketsSent == 0 {
+		t.Fatal("source never sent")
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	sched, a, b := pair()
+	s := New(a, b.Addr(), 1, 100_000, 576)
+	sched.At(0, func() { s.Start(); s.Start(); s.Start() })
+	sched.RunUntil(sim.Second)
+	gotBits := float64(b.RecvBytes) * 8
+	if gotBits > 110_000 {
+		t.Fatalf("double Start doubled the rate: %.0f bits in 1s", gotBits)
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	sched, a, b := pair()
+	var flows []uint32
+	b.Handle(packet.ProtoCBR, func(pkt *packet.Packet) {
+		flows = append(flows, pkt.Header.(*packet.CBRHeader).Flow)
+	})
+	s := New(a, b.Addr(), 7, 1_000_000, 576)
+	sched.At(0, func() { s.Start() })
+	sched.RunUntil(10 * sim.Millisecond)
+	if len(flows) == 0 || flows[0] != 7 {
+		t.Fatalf("flow id not carried: %v", flows)
+	}
+}

@@ -1,0 +1,40 @@
+package delta
+
+import (
+	"deltasigma/internal/keys"
+	"deltasigma/internal/packet"
+)
+
+// ScrubComponent adapts DELTA to ECN-driven congestion control (§3.1.2,
+// "Congestion notification"): instead of relying on packet loss, routers
+// mark forwarded packets, and the edge router alters the content of the
+// component field in each marked packet before delivering it onto a local
+// interface. The receiver still gets the data, but the altered component
+// makes the top key irreconstructable — marking becomes exactly as
+// key-denying as a loss, while the decrease field is left intact so the
+// receiver can still move down.
+//
+// The returned header is a fresh copy; the shared original is never
+// mutated (multicast replication shares header values).
+func ScrubComponent(h packet.Header, nonce keys.Key) packet.Header {
+	switch t := h.(type) {
+	case *packet.FLIDHeader:
+		c := *t
+		c.Component = nonce
+		// Shamir shares are the threshold instantiation's components:
+		// scrub them too so marked packets deny threshold keys as well.
+		if c.ShareX != 0 {
+			c.ShareY = uint32(nonce)
+		}
+		if c.UpShareX != 0 {
+			c.UpShareY = uint32(nonce >> 16)
+		}
+		return &c
+	case *packet.ReplHeader:
+		c := *t
+		c.Component = nonce
+		return &c
+	default:
+		return h
+	}
+}

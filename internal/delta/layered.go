@@ -1,0 +1,296 @@
+package delta
+
+import (
+	"fmt"
+
+	"deltasigma/internal/keys"
+	"deltasigma/internal/packet"
+)
+
+// LayeredSender implements the sender half of the Figure 4 DELTA
+// instantiation for cumulative layered multicast protocols that define
+// congestion as a single packet loss (FLID-DL, RLC).
+//
+// Per time slot the sender precomputes every key before transmitting a
+// single packet (the property that lets SIGMA announce keys to edge routers
+// ahead of the data), then generates component fields in real time:
+// each non-final packet of group g carries a fresh nonce, and the final
+// packet carries the closing value that makes the XOR of all of group g's
+// components equal the group's secret X_g. Top keys are prefix XORs of the
+// X_g, increase keys are the next-lower top key, and decrease keys are
+// dedicated nonces carried in the decrease field one group up.
+type LayeredSender struct {
+	n   int
+	src *keys.Source
+}
+
+// NewLayeredSender builds a sender-side instantiation for a session with n
+// groups, minting nonces from src.
+func NewLayeredSender(n int, src *keys.Source) *LayeredSender {
+	checkGroupCount(n)
+	return &LayeredSender{n: n, src: src}
+}
+
+// Groups reports the session's group count.
+func (s *LayeredSender) Groups() int { return s.n }
+
+// LayeredSlot is the per-slot state of a LayeredSender: the precomputed
+// keys plus the real-time component generators.
+type LayeredSlot struct {
+	Keys SlotKeys
+
+	src       *keys.Source
+	accum     []keys.Key // C_g of Figure 4: the running closing value
+	remaining []int      // packets left to emit per group
+	counts    []int
+}
+
+// BeginSlot precomputes the keys for one slot. auth[g-1] declares whether
+// the protocol authorizes an upgrade to group g this slot (auth[0] is
+// ignored: there is no upgrade to the minimal group). counts[g-1] is the
+// number of packets group g will transmit this slot; every group must send
+// at least one packet so its key components can travel.
+func (s *LayeredSender) BeginSlot(slot uint32, auth []bool, counts []int) *LayeredSlot {
+	if len(auth) != s.n || len(counts) != s.n {
+		panic(fmt.Sprintf("delta: BeginSlot with %d auth / %d counts for %d groups", len(auth), len(counts), s.n))
+	}
+	ls := &LayeredSlot{
+		src:       s.src,
+		accum:     make([]keys.Key, s.n),
+		remaining: make([]int, s.n),
+		counts:    make([]int, s.n),
+	}
+	ls.Keys = SlotKeys{
+		Slot: slot,
+		Top:  make([]keys.Key, s.n),
+		Dec:  make([]keys.Key, max(s.n-1, 0)),
+		Inc:  make([]keys.Key, s.n),
+		Auth: make([]bool, s.n),
+	}
+	for g := 1; g <= s.n; g++ {
+		if counts[g-1] < 1 {
+			panic(fmt.Sprintf("delta: group %d scheduled %d packets; need >= 1", g, counts[g-1]))
+		}
+		ls.remaining[g-1] = counts[g-1]
+		ls.counts[g-1] = counts[g-1]
+		// C_g ← nonce; this initial nonce is the group secret X_g, because
+		// the closing component cancels every later nonce folded into C_g.
+		ls.accum[g-1] = s.src.Nonce()
+		if g == 1 {
+			ls.Keys.Top[0] = ls.accum[0]
+		} else {
+			ls.Keys.Top[g-1] = keys.XOR(ls.Keys.Top[g-2], ls.accum[g-1])
+			ls.Keys.Dec[g-2] = s.src.Nonce() // δ_{g-1}, carried as d_g
+			if auth[g-1] {
+				ls.Keys.Auth[g-1] = true
+				ls.Keys.Inc[g-1] = ls.Keys.Top[g-2] // ε_g = α_{g-1}
+			}
+		}
+	}
+	return ls
+}
+
+// Fields returns the component and decrease fields for the next packet of
+// group g (1-based). It must be called exactly counts[g-1] times per slot
+// per group; the final call emits the closing component. The decrease field
+// d_g is δ_{g-1} for g ≥ 2 and zero for the minimal group.
+func (ls *LayeredSlot) Fields(g int) (component, decrease keys.Key) {
+	idx := g - 1
+	if ls.remaining[idx] <= 0 {
+		panic(fmt.Sprintf("delta: group %d exceeded its %d scheduled packets", g, ls.counts[idx]))
+	}
+	ls.remaining[idx]--
+	if g >= 2 {
+		decrease = ls.Keys.Dec[g-2]
+	}
+	if ls.remaining[idx] == 0 {
+		// Last packet carries the accumulated closing value C_g.
+		return ls.accum[idx], decrease
+	}
+	c := ls.src.Nonce()
+	ls.accum[idx] = keys.XOR(ls.accum[idx], c)
+	return c, decrease
+}
+
+// Done reports whether every scheduled packet of every group has had its
+// fields generated.
+func (ls *LayeredSlot) Done() bool {
+	for _, r := range ls.remaining {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LayeredReceiver implements the receiver half of Figure 4: it accumulates
+// the component and decrease fields observed during a slot and, at slot
+// end, derives the receiver's entitled next level and the keys for it.
+type LayeredReceiver struct {
+	n    int
+	slot uint32
+
+	comp      []keys.Accumulator // XOR of received component fields per group
+	got       []int              // packets received per group
+	expect    []int              // Count field per group (0 = never seen)
+	dec       []keys.Key         // δ_{g-1} seen in group-g packets (index g-1)
+	haveDec   []bool
+	increase  int  // highest group an upgrade was authorized to (from headers)
+	sawMarked bool // an ECN CE mark counts as congestion for ECN-driven protocols
+}
+
+// NewLayeredReceiver builds the receiver-side instantiation for a session
+// with n groups.
+func NewLayeredReceiver(n int) *LayeredReceiver {
+	checkGroupCount(n)
+	r := &LayeredReceiver{n: n}
+	r.alloc()
+	return r
+}
+
+func (r *LayeredReceiver) alloc() {
+	r.comp = make([]keys.Accumulator, r.n)
+	r.got = make([]int, r.n)
+	r.expect = make([]int, r.n)
+	r.dec = make([]keys.Key, r.n)
+	r.haveDec = make([]bool, r.n)
+	r.increase = 0
+	r.sawMarked = false
+}
+
+// Begin resets the receiver for a new slot.
+func (r *LayeredReceiver) Begin(slot uint32) {
+	r.slot = slot
+	r.alloc()
+}
+
+// Slot reports the slot currently being accumulated.
+func (r *LayeredReceiver) Slot() uint32 { return r.slot }
+
+// Observe folds one received data packet into the slot state. Packets from
+// other slots are ignored (they belong to the neighbouring slot's
+// accumulator). marked reports an ECN CE mark on the packet.
+func (r *LayeredReceiver) Observe(h *packet.FLIDHeader, marked bool) {
+	if h.Slot != r.slot {
+		return
+	}
+	g := int(h.Group)
+	if g < 1 || g > r.n {
+		return
+	}
+	r.got[g-1]++
+	r.expect[g-1] = int(h.Count)
+	r.comp[g-1].Add(h.Component)
+	if g >= 2 {
+		r.dec[g-1] = h.Decrease
+		r.haveDec[g-1] = true
+	}
+	if int(h.IncreaseTo) > r.increase {
+		r.increase = int(h.IncreaseTo)
+	}
+	if marked {
+		r.sawMarked = true
+	}
+}
+
+// Received reports how many packets arrived for group g this slot.
+func (r *LayeredReceiver) Received(g int) int { return r.got[g-1] }
+
+// lost reports whether group g (1-based) lost at least one packet this
+// slot. A group from which nothing arrived counts as lossy: the sender
+// guarantees at least one packet per group per slot.
+func (r *LayeredReceiver) lost(g int) bool {
+	if r.got[g-1] == 0 {
+		return true
+	}
+	return r.got[g-1] < r.expect[g-1]
+}
+
+// Finish concludes the slot for a receiver whose current subscription is
+// groups 1..top and returns its entitlement. ecnMode makes CE marks count
+// as congestion (the ECN-driven protocol family of §3.1.2).
+func (r *LayeredReceiver) Finish(top int, ecnMode bool) Outcome {
+	if top < 1 {
+		panic("delta: Finish with no current subscription")
+	}
+	if top > r.n {
+		top = r.n
+	}
+	out := Outcome{Slot: r.slot, Keys: make(map[int]keys.Key)}
+
+	lossy := -1 // highest lossy group ≤ top; -1 = none
+	nLossy := 0
+	for g := 1; g <= top; g++ {
+		if r.lost(g) {
+			lossy = g
+			nLossy++
+		}
+	}
+	congested := nLossy > 0 || (ecnMode && r.sawMarked)
+
+	// lowerKeys fills out.Keys[1..m] from decrease fields; the key for
+	// group j travels in group j+1's packets, so it is available only while
+	// packets from each group above kept arriving.
+	lowerKeys := func(m int) int {
+		for j := 1; j <= m; j++ {
+			if !r.haveDec[j] { // note: haveDec[j] ⇔ a packet of group j+1 arrived
+				return j - 1
+			}
+			out.Keys[j] = r.dec[j]
+		}
+		return m
+	}
+
+	if !congested {
+		out.Congested = false
+		// u_g: XOR of every component of groups 1..top = α_top.
+		var alpha keys.Key
+		for g := 1; g <= top; g++ {
+			alpha = keys.XOR(alpha, r.comp[g-1].Sum())
+		}
+		reach := lowerKeys(top - 1)
+		if reach == top-1 {
+			out.Keys[top] = alpha
+			out.Next = top
+			if top < r.n && r.increase >= top+1 {
+				// ε_{top+1} = α_top: the same value opens the next group.
+				out.Keys[top+1] = alpha
+				out.Next = top + 1
+			}
+		} else {
+			// No loss, yet a decrease field is missing — can only happen
+			// when a group legitimately sent zero... the sender forbids
+			// that, so treat as congestion-equivalent demotion.
+			out.Next = reach
+		}
+		return out
+	}
+
+	out.Congested = true
+
+	// Contradiction resolution (§3.1.1): when the only lossy group is the
+	// top one and the protocol authorized an upgrade *to* the top group,
+	// the receiver reconstructs ε_top = α_{top-1} from the clean lower
+	// groups and keeps its subscription — this also synchronizes receivers
+	// behind a shared bottleneck.
+	if nLossy == 1 && lossy == top && top >= 2 && r.increase >= top && !(ecnMode && r.sawMarked) {
+		var alpha keys.Key
+		for g := 1; g < top; g++ {
+			alpha = keys.XOR(alpha, r.comp[g-1].Sum())
+		}
+		reach := lowerKeys(top - 1)
+		if reach == top-1 {
+			out.Keys[top] = alpha
+			out.Next = top
+			return out
+		}
+		// Fall through to the plain congested path with partial keys.
+		out.Keys = make(map[int]keys.Key)
+	}
+
+	// Plain decrease: entitled to groups 1..top−1, bounded by how far the
+	// decrease-field chain reaches (a group that lost *all* packets breaks
+	// the chain below it — "forced to reduce by more than one group").
+	out.Next = lowerKeys(top - 1)
+	return out
+}

@@ -1,0 +1,209 @@
+// Package fec provides the forward-error-correction codes SIGMA uses to
+// deliver key material to edge routers reliably (§3.2.1): a repetition code
+// (expansion z = factor, tolerates loss of all but one copy) and an
+// XOR-parity code (expansion (k+1)/k, tolerates any single loss per
+// generation). The §5.4 overhead model consumes only the expansion factor
+// z; these encoders also actually recover the data, which the tests verify
+// under the paper's 50% loss target.
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Block is one coded unit: Index identifies it within the generation of
+// Total blocks.
+type Block struct {
+	Index int
+	Total int
+	Data  []byte
+}
+
+// Code expands a payload into coded blocks and recovers the payload from
+// any sufficient subset.
+type Code interface {
+	// Encode splits/expands payload into blocks.
+	Encode(payload []byte) []Block
+	// Decode reconstructs the payload from the surviving blocks; ok is
+	// false when too few survived.
+	Decode(blocks []Block) (payload []byte, ok bool)
+	// Expansion reports z, the ratio of coded bytes to payload bytes.
+	Expansion() float64
+}
+
+// Repetition sends Factor identical copies; any one suffices. Expansion is
+// Factor. With Factor 2 it overcomes 50% loss in expectation — the paper's
+// setting.
+type Repetition struct {
+	Factor int
+}
+
+// Encode implements Code.
+func (r Repetition) Encode(payload []byte) []Block {
+	f := r.Factor
+	if f < 1 {
+		f = 1
+	}
+	out := make([]Block, f)
+	for i := range out {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		out[i] = Block{Index: i, Total: f, Data: cp}
+	}
+	return out
+}
+
+// Decode implements Code.
+func (r Repetition) Decode(blocks []Block) ([]byte, bool) {
+	for _, b := range blocks {
+		if b.Data != nil {
+			return b.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Expansion implements Code.
+func (r Repetition) Expansion() float64 {
+	if r.Factor < 1 {
+		return 1
+	}
+	return float64(r.Factor)
+}
+
+// XORParity splits the payload into K equal shards and appends one parity
+// shard; any K of the K+1 blocks reconstruct. Expansion is (K+1)/K —
+// cheaper than repetition but it only tolerates a single loss per
+// generation.
+type XORParity struct {
+	K int
+}
+
+// Encode implements Code. The payload is length-prefixed and padded so the
+// shards divide evenly.
+func (x XORParity) Encode(payload []byte) []Block {
+	k := x.K
+	if k < 1 {
+		k = 1
+	}
+	// Prefix the true length so padding strips cleanly.
+	framed := make([]byte, 4+len(payload))
+	framed[0] = byte(len(payload) >> 24)
+	framed[1] = byte(len(payload) >> 16)
+	framed[2] = byte(len(payload) >> 8)
+	framed[3] = byte(len(payload))
+	copy(framed[4:], payload)
+
+	shard := (len(framed) + k - 1) / k
+	if shard == 0 {
+		shard = 1
+	}
+	blocks := make([]Block, k+1)
+	parity := make([]byte, shard)
+	for i := 0; i < k; i++ {
+		d := make([]byte, shard)
+		lo := i * shard
+		if lo < len(framed) {
+			hi := lo + shard
+			if hi > len(framed) {
+				hi = len(framed)
+			}
+			copy(d, framed[lo:hi])
+		}
+		for j, v := range d {
+			parity[j] ^= v
+		}
+		blocks[i] = Block{Index: i, Total: k + 1, Data: d}
+	}
+	blocks[k] = Block{Index: k, Total: k + 1, Data: parity}
+	return blocks
+}
+
+// Decode implements Code.
+func (x XORParity) Decode(blocks []Block) ([]byte, bool) {
+	k := x.K
+	if k < 1 {
+		k = 1
+	}
+	if len(blocks) == 0 {
+		return nil, false
+	}
+	shard := len(blocks[0].Data)
+	have := make([][]byte, k+1)
+	n := 0
+	for _, b := range blocks {
+		if b.Index < 0 || b.Index > k || b.Data == nil {
+			continue
+		}
+		if have[b.Index] == nil {
+			have[b.Index] = b.Data
+			n++
+		}
+	}
+	if n < k {
+		return nil, false
+	}
+	// Recover a single missing data shard from parity.
+	missing := -1
+	for i := 0; i < k; i++ {
+		if have[i] == nil {
+			missing = i
+			break
+		}
+	}
+	if missing >= 0 {
+		if have[k] == nil {
+			return nil, false
+		}
+		rec := make([]byte, shard)
+		copy(rec, have[k])
+		for i := 0; i < k; i++ {
+			if i == missing {
+				continue
+			}
+			for j, v := range have[i] {
+				rec[j] ^= v
+			}
+		}
+		have[missing] = rec
+	}
+	framed := make([]byte, 0, k*shard)
+	for i := 0; i < k; i++ {
+		framed = append(framed, have[i]...)
+	}
+	if len(framed) < 4 {
+		return nil, false
+	}
+	length := int(framed[0])<<24 | int(framed[1])<<16 | int(framed[2])<<8 | int(framed[3])
+	if length < 0 || 4+length > len(framed) {
+		return nil, false
+	}
+	return framed[4 : 4+length], true
+}
+
+// Expansion implements Code.
+func (x XORParity) Expansion() float64 {
+	k := x.K
+	if k < 1 {
+		k = 1
+	}
+	return float64(k+1) / float64(k)
+}
+
+// ErrBadScheme reports an unusable configuration.
+var ErrBadScheme = errors.New("fec: unusable scheme")
+
+// ForLossTarget picks the cheapest of the two codes that still meets a
+// tolerated per-block loss probability under independent losses: repetition
+// with z = 2 for anything up to 50%, XOR parity for milder targets.
+func ForLossTarget(lossRate float64) (Code, error) {
+	switch {
+	case lossRate < 0 || lossRate >= 1:
+		return nil, fmt.Errorf("%w: loss rate %v", ErrBadScheme, lossRate)
+	case lossRate <= 0.25:
+		return XORParity{K: 2}, nil
+	default:
+		return Repetition{Factor: 2}, nil
+	}
+}

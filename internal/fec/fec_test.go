@@ -1,0 +1,175 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepetitionRoundTrip(t *testing.T) {
+	c := Repetition{Factor: 2}
+	payload := []byte("address-key tuples for slot 42")
+	blocks := c.Encode(payload)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	got, ok := c.Decode(blocks)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("decode failed: %q ok=%v", got, ok)
+	}
+}
+
+func TestRepetitionSurvivesHalfLoss(t *testing.T) {
+	c := Repetition{Factor: 2}
+	payload := []byte("keys")
+	blocks := c.Encode(payload)
+	// Lose either copy: still decodes — the paper's 50% target.
+	for drop := 0; drop < 2; drop++ {
+		var kept []Block
+		for i, b := range blocks {
+			if i != drop {
+				kept = append(kept, b)
+			}
+		}
+		got, ok := c.Decode(kept)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("drop %d: decode failed", drop)
+		}
+	}
+	if _, ok := c.Decode(nil); ok {
+		t.Fatal("decoding nothing should fail")
+	}
+}
+
+func TestRepetitionCopiesAreIndependent(t *testing.T) {
+	c := Repetition{Factor: 3}
+	payload := []byte{1, 2, 3}
+	blocks := c.Encode(payload)
+	blocks[0].Data[0] = 99 // corrupt one copy in place
+	if payload[0] != 1 {
+		t.Fatal("encode must copy the payload")
+	}
+	if blocks[1].Data[0] != 1 {
+		t.Fatal("copies must not share backing arrays")
+	}
+}
+
+func TestXORParityRoundTripNoLoss(t *testing.T) {
+	c := XORParity{K: 3}
+	payload := []byte("0123456789abcdefghij")
+	blocks := c.Encode(payload)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want k+1 = 4", len(blocks))
+	}
+	got, ok := c.Decode(blocks)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("decode failed: %q", got)
+	}
+}
+
+func TestXORParityRecoversAnySingleLoss(t *testing.T) {
+	c := XORParity{K: 4}
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	blocks := c.Encode(payload)
+	for drop := 0; drop < len(blocks); drop++ {
+		var kept []Block
+		for i, b := range blocks {
+			if i != drop {
+				kept = append(kept, b)
+			}
+		}
+		got, ok := c.Decode(kept)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("drop %d: decode failed (ok=%v)", drop, ok)
+		}
+	}
+}
+
+func TestXORParityFailsOnDoubleLoss(t *testing.T) {
+	c := XORParity{K: 4}
+	blocks := c.Encode([]byte("some payload bytes here"))
+	if _, ok := c.Decode(blocks[2:]); ok {
+		t.Fatal("double data loss must fail")
+	}
+}
+
+func TestXORParityOddSizes(t *testing.T) {
+	c := XORParity{K: 3}
+	for size := 0; size < 40; size++ {
+		payload := bytes.Repeat([]byte{byte(size + 1)}, size)
+		got, ok := c.Decode(c.Encode(payload))
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: round trip failed", size)
+		}
+	}
+}
+
+func TestExpansionFactors(t *testing.T) {
+	if (Repetition{Factor: 2}).Expansion() != 2 {
+		t.Fatal("repetition z wrong")
+	}
+	if (XORParity{K: 4}).Expansion() != 1.25 {
+		t.Fatal("parity z wrong")
+	}
+	if (Repetition{}).Expansion() != 1 || (XORParity{}).Expansion() != 2 {
+		t.Fatal("degenerate expansions wrong")
+	}
+}
+
+func TestForLossTarget(t *testing.T) {
+	c, err := ForLossTarget(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(Repetition); !ok {
+		t.Fatalf("50%% loss should pick repetition, got %T", c)
+	}
+	c, err = ForLossTarget(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(XORParity); !ok {
+		t.Fatalf("10%% loss should pick parity, got %T", c)
+	}
+	if _, err := ForLossTarget(1.5); err == nil {
+		t.Fatal("invalid loss rate accepted")
+	}
+	if _, err := ForLossTarget(-0.1); err == nil {
+		t.Fatal("negative loss rate accepted")
+	}
+}
+
+// Property: both codes round-trip arbitrary payloads with any single block
+// dropped.
+func TestSingleLossProperty(t *testing.T) {
+	codes := []Code{Repetition{Factor: 2}, XORParity{K: 3}}
+	f := func(payload []byte, dropRaw uint8) bool {
+		for _, c := range codes {
+			blocks := c.Encode(payload)
+			drop := int(dropRaw) % len(blocks)
+			var kept []Block
+			for i, b := range blocks {
+				if i != drop {
+					kept = append(kept, b)
+				}
+			}
+			got, ok := c.Decode(kept)
+			if !ok || !bytes.Equal(got, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXORParityEncode(b *testing.B) {
+	c := XORParity{K: 4}
+	payload := bytes.Repeat([]byte{0xAB}, 580) // a 20-tuple announce
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(payload)
+	}
+}

@@ -1,0 +1,129 @@
+package flid
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+)
+
+// Attacker is the inflated-subscription misbehaver of §2.1 against plain
+// FLID-DL: it behaves like a normal receiver until Inflate is called, then
+// joins every group of the session through IGMP and ignores congestion
+// forever after — the Figure 1 attack.
+type Attacker struct {
+	*Receiver
+	igmpAtk  *mcast.Client
+	inflated bool
+}
+
+// NewAttacker builds a DL attacker on host.
+func NewAttacker(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Attacker {
+	return &Attacker{
+		Receiver: NewReceiver(host, sess, routerAddr),
+		igmpAtk:  mcast.NewClient(host, routerAddr),
+	}
+}
+
+// Inflate switches the receiver to full-subscription misbehaviour.
+func (a *Attacker) Inflate() {
+	if a.inflated {
+		return
+	}
+	a.inflated = true
+	// Stop the well-behaved control loop, then grab everything. Stop()
+	// leaves the current groups; rejoin them all unconditionally.
+	a.Receiver.Stop()
+	for g := 1; g <= a.Sess.Rates.N; g++ {
+		a.igmpAtk.Join(a.Sess.GroupAddr(g))
+	}
+}
+
+// Inflated reports whether the attack is active.
+func (a *Attacker) Inflated() bool { return a.inflated }
+
+// DSAttacker attacks a DELTA+SIGMA-protected session: it keeps a legitimate
+// FLID-DS receiver running (its fair share — the attacker still wants the
+// data) while trying to inflate by submitting guessed keys for every higher
+// group each slot and by sending plain IGMP joins the SIGMA router ignores
+// (§4.2, protection against attacks on SIGMA).
+type DSAttacker struct {
+	*DSReceiver
+	igmpAtk *mcast.Client
+	rng     *sim.RNG
+
+	// GuessesPerSlot is y: how many random keys per group per slot the
+	// attacker can afford to submit.
+	GuessesPerSlot int
+
+	inflated bool
+	// Meters for the attack traffic are shared with the receiver's Meter.
+	GuessesSent uint64
+}
+
+// NewDSAttacker builds a DS attacker on host.
+func NewDSAttacker(host *netsim.Host, sess *core.Session, routerAddr packet.Addr, rng *sim.RNG) *DSAttacker {
+	return &DSAttacker{
+		DSReceiver:     NewDSReceiver(host, sess, routerAddr),
+		igmpAtk:        mcast.NewClient(host, routerAddr),
+		rng:            rng,
+		GuessesPerSlot: 16,
+	}
+}
+
+// Inflate begins the inflation attempts.
+func (a *DSAttacker) Inflate() {
+	if a.inflated {
+		return
+	}
+	a.inflated = true
+	// Plain IGMP joins: a SIGMA edge router confers nothing for them.
+	for g := 1; g <= a.Sess.Rates.N; g++ {
+		a.igmpAtk.Join(a.Sess.GroupAddr(g))
+	}
+	a.attackSlot()
+}
+
+// Inflated reports whether the attack is active.
+func (a *DSAttacker) Inflated() bool { return a.inflated }
+
+func (a *DSAttacker) attackSlot() {
+	if !a.inflated {
+		return
+	}
+	sched := a.host.Scheduler()
+	cur := a.Sess.SlotAt(sched.Now())
+	// Submit guessed keys for every group above the fair level, for the
+	// next access slot.
+	target := core.AccessSlot(cur)
+	pairs := make([]packet.AddrKey, 0, a.Sess.Rates.N*a.GuessesPerSlot)
+	for g := a.Level() + 1; g <= a.Sess.Rates.N; g++ {
+		for i := 0; i < a.GuessesPerSlot; i++ {
+			pairs = append(pairs, packet.AddrKey{
+				Addr: a.Sess.GroupAddr(g),
+				Key:  keys.Key(a.rng.Uint64()) & 0xffff,
+			})
+			a.GuessesSent++
+		}
+	}
+	if len(pairs) > 0 {
+		a.Client().Subscribe(target, pairs)
+	}
+	// Guess late in each slot, after the edge has the slot's announced keys
+	// to check against (guesses against an empty key store are wasted).
+	sched.At(a.Sess.SlotStart(cur+1)+7*a.Sess.SlotDur/10, func() { a.attackSlot() })
+}
+
+// NewMeterOnly attaches a pure throughput meter for session data on host.
+func NewMeterOnly(host *netsim.Host, sess *core.Session) *stats.Meter {
+	m := stats.NewMeter(sim.Second)
+	host.HandleAll(func(pkt *packet.Packet) {
+		if h, ok := pkt.Header.(*packet.FLIDHeader); ok && h.Session == sess.ID {
+			m.Add(host.Scheduler().Now(), pkt.Size)
+		}
+	})
+	return m
+}

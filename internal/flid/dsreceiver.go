@@ -1,0 +1,224 @@
+package flid
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/delta"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+)
+
+// DSReceiver is a well-behaved FLID-DS receiver: it runs the Figure 4
+// DELTA receiver algorithm over each data slot, derives the keys its
+// congestion state entitles it to, and subscribes through SIGMA for the
+// corresponding access slot (data slot + 2, Figure 2). Congestion control
+// decisions are exactly FLID-DL's — decrease on loss, increase on signal —
+// but enacted through keys instead of trust.
+type DSReceiver struct {
+	Sess   *core.Session
+	host   *netsim.Host
+	client *sigma.Client
+
+	recvs       map[uint32]*delta.LayeredReceiver
+	levelBySlot map[uint32]int
+	level       int      // latest decided level
+	joinedSlot  []uint32 // first fully observed data slot per group
+	running     bool
+
+	// Meter records delivered session bytes.
+	Meter *stats.Meter
+	// Decreases, Increases, Rejoins count subscription moves.
+	Decreases, Increases, Rejoins uint64
+}
+
+// NewDSReceiver builds a FLID-DS receiver on host against the SIGMA edge
+// router at routerAddr.
+func NewDSReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *DSReceiver {
+	r := &DSReceiver{
+		Sess:        sess,
+		host:        host,
+		client:      sigma.NewClient(host, routerAddr),
+		recvs:       make(map[uint32]*delta.LayeredReceiver),
+		levelBySlot: make(map[uint32]int),
+		joinedSlot:  make([]uint32, sess.Rates.N+2),
+		Meter:       stats.NewMeter(sim.Second),
+	}
+	host.Handle(packet.ProtoFLID, r.onData)
+	return r
+}
+
+// Level reports the latest decided subscription level.
+func (r *DSReceiver) Level() int { return r.level }
+
+// Client exposes the SIGMA client (attacker subclassing and tests).
+func (r *DSReceiver) Client() *sigma.Client { return r.client }
+
+// Start admits the receiver into the session via a SIGMA session-join.
+func (r *DSReceiver) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	sched := r.host.Scheduler()
+	cur := r.Sess.SlotAt(sched.Now())
+	r.level = 1
+	r.levelBySlot[cur] = 1
+	r.joinedSlot[1] = cur + 1
+	r.client.SessionJoin(r.Sess.BaseAddr)
+	r.scheduleEval(cur)
+}
+
+// Stop leaves the session.
+func (r *DSReceiver) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	r.client.Unsubscribe(r.Sess.Addrs())
+	r.level = 0
+}
+
+func (r *DSReceiver) scheduleEval(slot uint32) {
+	sched := r.host.Scheduler()
+	at := r.Sess.SlotStart(slot+1) + sim.Time(guardFraction*float64(r.Sess.SlotDur))
+	if at <= sched.Now() {
+		at = sched.Now() + 1
+	}
+	sched.At(at, func() {
+		if !r.running {
+			return
+		}
+		r.evaluate(slot)
+		r.scheduleEval(slot + 1)
+	})
+}
+
+func (r *DSReceiver) onData(pkt *packet.Packet) {
+	h, ok := pkt.Header.(*packet.FLIDHeader)
+	if !ok || h.Session != r.Sess.ID {
+		return
+	}
+	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
+	dr := r.recvs[h.Slot]
+	if dr == nil {
+		dr = delta.NewLayeredReceiver(r.Sess.Rates.N)
+		dr.Begin(h.Slot)
+		r.recvs[h.Slot] = dr
+	}
+	dr.Observe(h, pkt.ECN)
+}
+
+// levelAt returns the subscription level in force during a data slot,
+// walking back to the most recent decision.
+func (r *DSReceiver) levelAt(slot uint32) int {
+	for s := slot; ; s-- {
+		if l, ok := r.levelBySlot[s]; ok {
+			return l
+		}
+		if s == 0 {
+			return 1
+		}
+		if slot-s > 16 {
+			return r.level
+		}
+	}
+}
+
+// evaluate runs the DELTA receiver conclusion for the finished data slot
+// and subscribes for the access slot it guards.
+func (r *DSReceiver) evaluate(slot uint32) {
+	dr := r.recvs[slot]
+	delete(r.recvs, slot)
+	for s := range r.recvs {
+		if s+4 < slot {
+			delete(r.recvs, s)
+		}
+	}
+	for s := range r.levelBySlot {
+		if s+8 < slot {
+			delete(r.levelBySlot, s)
+		}
+	}
+
+	lvl := r.levelAt(slot)
+	if lvl == 0 {
+		lvl = 1
+	}
+	// Only groups fully observed for the whole slot count toward the
+	// evaluation; newer grants are still covered by SIGMA's grace window.
+	effTop := 0
+	for g := 1; g <= lvl; g++ {
+		if r.joinedSlot[g] <= slot {
+			effTop = g
+		} else {
+			break
+		}
+	}
+	if effTop == 0 || dr == nil {
+		// Nothing fully observed yet (just joined): wait for a full slot.
+		if dr == nil && effTop > 0 {
+			// A full slot passed with zero packets: the session may be
+			// idle or access lost entirely — rejoin from the floor.
+			r.rejoin(slot)
+			return
+		}
+		// Carry the latest decision, not the level active during the
+		// evaluated slot — mid-upgrade they differ.
+		r.levelBySlot[core.AccessSlot(slot)] = r.level
+		return
+	}
+
+	out := dr.Finish(effTop, false)
+	if out.Next == 0 {
+		r.rejoin(slot)
+		return
+	}
+
+	pairs := make([]packet.AddrKey, 0, len(out.Keys))
+	for g, k := range out.Keys {
+		pairs = append(pairs, packet.AddrKey{Addr: r.Sess.GroupAddr(g), Key: k})
+	}
+	r.client.Subscribe(core.AccessSlot(slot), pairs)
+
+	next := out.Next
+	if out.Congested {
+		// Abandon anything above the entitled level, including pending
+		// upgrades, and tell the router immediately.
+		if next < lvl {
+			addrs := make([]packet.Addr, 0, lvl-next)
+			for g := next + 1; g <= lvl; g++ {
+				addrs = append(addrs, r.Sess.GroupAddr(g))
+			}
+			r.client.Unsubscribe(addrs)
+			r.Decreases++
+		}
+	} else {
+		if next > effTop {
+			// Upgrade: packets will start flowing in the next slot; count
+			// the group fully from the slot after that.
+			r.joinedSlot[next] = slot + 2
+			r.Increases++
+		}
+		// A pending (granted but not yet fully observed) group stays.
+		if lvl > next {
+			next = lvl
+		}
+	}
+	r.level = next
+	r.levelBySlot[core.AccessSlot(slot)] = next
+}
+
+// rejoin re-enters the session keylessly from the minimal group. The
+// receiver may still be receiving group 1 under the session-join grace
+// window, so joinedSlot is left alone: the very next clean slot yields a
+// fresh key and clears probation before the grace expires — an isolated
+// loss at the minimal level costs nothing, while sustained congestion still
+// runs into the §3.2.2 penalty.
+func (r *DSReceiver) rejoin(slot uint32) {
+	r.Rejoins++
+	r.level = 1
+	r.levelBySlot[core.AccessSlot(slot)] = 1
+	r.client.SessionJoin(r.Sess.BaseAddr)
+}

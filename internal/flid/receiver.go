@@ -1,0 +1,184 @@
+package flid
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+)
+
+// guardFraction is how far into the next slot a receiver waits before
+// evaluating a slot, so in-flight and queue-delayed packets of the slot can
+// still arrive. It must cover the worst-case bottleneck queueing delay (two
+// bandwidth-RTT products ≈ 160 ms at §5.1 settings) or queue-delayed
+// packets read as losses, yet leave enough of the slot for the subscription
+// message to reach the edge before the access slot starts (Figure 2): 0.8
+// of a 250 ms FLID-DS slot leaves ~40 ms for the local round trip.
+const guardFraction = 0.8
+
+// slotTally accumulates per-group receptions for one data slot.
+type slotTally struct {
+	got    []int
+	expect []int
+	inc    int
+}
+
+func newSlotTally(n int) *slotTally {
+	return &slotTally{got: make([]int, n), expect: make([]int, n)}
+}
+
+func (t *slotTally) observe(h *packet.FLIDHeader) {
+	g := int(h.Group)
+	if g < 1 || g > len(t.got) {
+		return
+	}
+	t.got[g-1]++
+	t.expect[g-1] = int(h.Count)
+	if int(h.IncreaseTo) > t.inc {
+		t.inc = int(h.IncreaseTo)
+	}
+}
+
+// lost reports whether group g (1-based) is missing packets.
+func (t *slotTally) lost(g int) bool {
+	return t.got[g-1] == 0 || t.got[g-1] < t.expect[g-1]
+}
+
+// Receiver is a well-behaved FLID-DL receiver: plain IGMP membership,
+// decrease-on-loss, increase-on-signal (§3.1.1's subscription rules).
+type Receiver struct {
+	Sess *core.Session
+	host *netsim.Host
+	igmp *mcast.Client
+
+	level      int
+	joinedSlot []uint32 // data slot from which each group is fully counted
+	tallies    map[uint32]*slotTally
+	running    bool
+
+	// Meter records delivered session bytes (the figures' throughput).
+	Meter *stats.Meter
+	// Decreases and Increases count subscription moves.
+	Decreases, Increases uint64
+}
+
+// NewReceiver builds a FLID-DL receiver on host, managing membership
+// through the edge router at routerAddr.
+func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Receiver {
+	r := &Receiver{
+		Sess:       sess,
+		host:       host,
+		igmp:       mcast.NewClient(host, routerAddr),
+		joinedSlot: make([]uint32, sess.Rates.N+1),
+		tallies:    make(map[uint32]*slotTally),
+		Meter:      stats.NewMeter(sim.Second),
+	}
+	host.Handle(packet.ProtoFLID, r.onData)
+	return r
+}
+
+// Level reports the current subscription level.
+func (r *Receiver) Level() int { return r.level }
+
+// Start joins the session at the minimal level.
+func (r *Receiver) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	sched := r.host.Scheduler()
+	now := sched.Now()
+	cur := r.Sess.SlotAt(now)
+	r.level = 1
+	r.joinedSlot[1] = cur + 1 // first fully observed slot
+	r.igmp.Join(r.Sess.GroupAddr(1))
+	r.scheduleEval(cur)
+}
+
+// Stop leaves every group and halts evaluation.
+func (r *Receiver) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	for g := 1; g <= r.level; g++ {
+		r.igmp.Leave(r.Sess.GroupAddr(g))
+	}
+	r.level = 0
+}
+
+func (r *Receiver) scheduleEval(slot uint32) {
+	sched := r.host.Scheduler()
+	at := r.Sess.SlotStart(slot+1) + sim.Time(guardFraction*float64(r.Sess.SlotDur))
+	if at <= sched.Now() {
+		at = sched.Now() + 1
+	}
+	sched.At(at, func() {
+		if !r.running {
+			return
+		}
+		r.evaluate(slot)
+		r.scheduleEval(slot + 1)
+	})
+}
+
+func (r *Receiver) onData(pkt *packet.Packet) {
+	h, ok := pkt.Header.(*packet.FLIDHeader)
+	if !ok || h.Session != r.Sess.ID {
+		return
+	}
+	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
+	t := r.tallies[h.Slot]
+	if t == nil {
+		t = newSlotTally(r.Sess.Rates.N)
+		r.tallies[h.Slot] = t
+	}
+	t.observe(h)
+}
+
+// evaluate applies the subscription rules to the finished slot.
+func (r *Receiver) evaluate(slot uint32) {
+	t := r.tallies[slot]
+	delete(r.tallies, slot)
+	for s := range r.tallies {
+		if s+4 < slot {
+			delete(r.tallies, s) // GC strays
+		}
+	}
+	if r.level == 0 {
+		return
+	}
+	if t == nil {
+		t = newSlotTally(r.Sess.Rates.N)
+	}
+
+	loss := false
+	for g := 1; g <= r.level; g++ {
+		if r.joinedSlot[g] > slot {
+			continue // not yet a full member for this slot
+		}
+		if t.lost(g) {
+			loss = true
+			break
+		}
+	}
+
+	switch {
+	case loss && r.level > 1:
+		// Rule 2: a congested receiver of g groups must drop group g.
+		r.igmp.Leave(r.Sess.GroupAddr(r.level))
+		r.level--
+		r.Decreases++
+	case loss:
+		// At the minimal level the receiver stays: the base layer is the
+		// session's floor.
+	case t.inc >= r.level+1 && r.level < r.Sess.Rates.N:
+		// Rule 3: an authorized uncongested receiver adds one group.
+		r.level++
+		r.joinedSlot[r.level] = slot + 2 // join mid-slot+1: first full slot
+		r.igmp.Join(r.Sess.GroupAddr(r.level))
+		r.Increases++
+	}
+}

@@ -1,0 +1,196 @@
+// Package flid implements the FLID-DL congestion control protocol of Byers
+// et al. (the paper's protected protocol) and FLID-DS, its DELTA+SIGMA
+// hardened derivative (§5.1):
+//
+//   - a slotted sender transmitting cumulative layers at multiplicative
+//     rates with per-slot increase signals;
+//   - a well-behaved receiver that drops its top group on any loss in a
+//     slot and adds a group when the slot's increase signal authorizes it;
+//   - an inflated-subscription attacker for both variants.
+//
+// In DL mode group membership is plain IGMP — which is exactly what the
+// attacker abuses. In DS mode the sender runs the Figure 4 DELTA key
+// generation and announces tuples to edge routers via SIGMA; receivers
+// reconstruct keys and subscribe per the Figure 2 pipeline.
+//
+// Dynamic layering is modelled as zero-latency leave (see DESIGN.md): DL's
+// layer-rotation machinery exists to let receivers shed rate without IGMP
+// leave latency, so granting immediate leave exercises identical congestion
+// control dynamics.
+package flid
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/delta"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants.
+const (
+	// DL is plain FLID-DL over IGMP (vulnerable baseline).
+	DL Mode = iota
+	// DS is FLID-DS: FLID-DL integrated with DELTA and SIGMA.
+	DS
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == DS {
+		return "FLID-DS"
+	}
+	return "FLID-DL"
+}
+
+// Sender is the session source: it transmits every group's layer according
+// to the rate schedule, embeds the slot's increase signal, and — in DS mode
+// — generates and announces the DELTA keys.
+type Sender struct {
+	Sess   *core.Session
+	host   *netsim.Host
+	mode   Mode
+	policy core.UpgradePolicy
+	rng    *sim.RNG
+
+	pacers []core.Pacer
+	dsend  *delta.LayeredSender
+	ann    *sigma.Announcer
+
+	running bool
+
+	// Stats.
+	PacketsSent uint64
+	BytesSent   uint64
+	SlotsRun    uint64
+	// PacketsPerGroup[g-1] counts data packets transmitted to group g.
+	PacketsPerGroup []uint64
+	// AuthCount[g-1] counts slots that authorized an upgrade to group g
+	// (the f_g measurements of §5.4).
+	AuthCount []uint64
+}
+
+// NewSender builds a session source on host. In DS mode, keySrc mints the
+// DELTA nonces and announceRepeat is SIGMA's FEC expansion factor z.
+func NewSender(host *netsim.Host, sess *core.Session, mode Mode, policy core.UpgradePolicy, rng *sim.RNG, keySrc *keys.Source, announceRepeat int) *Sender {
+	sess.Rates.Validate()
+	s := &Sender{
+		Sess: sess, host: host, mode: mode, policy: policy, rng: rng,
+		pacers:          make([]core.Pacer, sess.Rates.N),
+		AuthCount:       make([]uint64, sess.Rates.N),
+		PacketsPerGroup: make([]uint64, sess.Rates.N),
+	}
+	for i := range s.pacers {
+		s.pacers[i].MinOne = true
+	}
+	if mode == DS {
+		if keySrc == nil {
+			keySrc = keys.NewSource(keys.DefaultBits, rng.Fork().Uint64)
+		}
+		s.dsend = delta.NewLayeredSender(sess.Rates.N, keySrc)
+		s.ann = sigma.NewAnnouncer(host, sess.ID, sess.BaseAddr, sess.Rates.N, announceRepeat)
+		s.ann.Spacing = sess.SlotDur / 4
+	}
+	return s
+}
+
+// Announcer exposes the SIGMA announcer (DS mode) for overhead accounting.
+func (s *Sender) Announcer() *sigma.Announcer { return s.ann }
+
+// Start begins the slot loop at the session epoch (or immediately if the
+// epoch has passed).
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	sched := s.host.Scheduler()
+	start := s.Sess.Epoch
+	if start < sched.Now() {
+		start = sched.Now()
+	}
+	sched.At(start, func() { s.runSlot(s.Sess.SlotAt(sched.Now())) })
+}
+
+// Stop halts the sender after the current slot.
+func (s *Sender) Stop() { s.running = false }
+
+func (s *Sender) runSlot(slot uint32) {
+	if !s.running {
+		return
+	}
+	s.SlotsRun++
+	sched := s.host.Scheduler()
+	n := s.Sess.Rates.N
+
+	inc := s.policy.IncreaseTo(slot)
+	if inc > n {
+		inc = n
+	}
+	auth := make([]bool, n)
+	for g := 2; g <= inc; g++ {
+		auth[g-1] = true
+		s.AuthCount[g-1]++
+	}
+
+	counts := make([]int, n)
+	for g := 1; g <= n; g++ {
+		counts[g-1] = s.pacers[g-1].Packets(s.Sess.Rates.GroupRate(g), s.Sess.SlotDur, s.Sess.PacketSize)
+	}
+
+	var ds *delta.LayeredSlot
+	if s.mode == DS {
+		ds = s.dsend.BeginSlot(slot, auth, counts)
+		// Announce the keys these components distribute: they guard the
+		// access slot two ahead (Figure 2).
+		s.ann.Announce(core.AccessSlot(slot), ds.Keys.Tuples(s.Sess.BaseAddr))
+	}
+
+	// Schedule the slot's packets, evenly spaced per group with a deter-
+	// ministic per-packet jitter to avoid cross-group phase locking.
+	slotStart := s.Sess.SlotStart(slot)
+	for g := 1; g <= n; g++ {
+		cnt := counts[g-1]
+		spacing := s.Sess.SlotDur / sim.Time(cnt)
+		for j := 1; j <= cnt; j++ {
+			hdr := &packet.FLIDHeader{
+				Session: s.Sess.ID, Group: uint8(g), Slot: slot,
+				Seq: uint16(j), Count: uint16(cnt), IncreaseTo: uint8(inc),
+			}
+			if ds != nil {
+				comp, dec := ds.Fields(g)
+				hdr.HasDelta = true
+				hdr.Component = comp
+				hdr.Decrease = dec
+			}
+			at := slotStart + sim.Time(j-1)*spacing + s.rng.Jitter(spacing/2)
+			if at < sched.Now() {
+				at = sched.Now()
+			}
+			pkt := packet.New(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
+			pkt.UID = s.host.Network().NewUID()
+			g := g
+			sched.At(at, func() {
+				s.PacketsSent++
+				s.PacketsPerGroup[g-1]++
+				s.BytesSent += uint64(pkt.Size)
+				s.host.Send(pkt)
+			})
+		}
+	}
+
+	sched.At(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
+}
+
+// ObservedFrequency returns the measured f_g over the slots run so far.
+func (s *Sender) ObservedFrequency(g int) float64 {
+	if s.SlotsRun == 0 || g < 2 || g > len(s.AuthCount) {
+		return 0
+	}
+	return float64(s.AuthCount[g-1]) / float64(s.SlotsRun)
+}

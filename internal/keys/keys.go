@@ -1,0 +1,91 @@
+// Package keys implements the dynamic group-key algebra that every DELTA
+// instantiation is built from (paper §3.1, Figure 3).
+//
+// A Key is a b-bit value (b = 16 in the paper's evaluation, §5.4). The
+// sender composes keys from per-packet nonces with XOR: a receiver that
+// holds every component of a key — and only such a receiver — can
+// reconstruct it. The XOR composition models the paper's requirement that
+// the combining functions F and H be one-way: with any component missing the
+// key is information-theoretically undetermined, because the missing nonce
+// is uniform and independent.
+package keys
+
+import "fmt"
+
+// Key is a dynamic group key or one of its nonce components. Keys are b-bit
+// values stored in a uint64; the active width is set by the Source that
+// minted them.
+type Key uint64
+
+// String renders the key in fixed-width hex.
+func (k Key) String() string { return fmt.Sprintf("%#016x", uint64(k)) }
+
+// XOR combines any number of keys or components. XOR is the ⊕ of equations
+// (3)–(6) in the paper.
+func XOR(ks ...Key) Key {
+	var acc Key
+	for _, k := range ks {
+		acc ^= k
+	}
+	return acc
+}
+
+// Source mints nonces of a fixed bit width from a deterministic stream.
+// One Source belongs to one sender; edge routers and receivers never mint,
+// they only combine.
+type Source struct {
+	bits uint
+	mask Key
+	next func() uint64
+}
+
+// DefaultBits is the key width used throughout the paper's evaluation.
+const DefaultBits = 16
+
+// NewSource returns a nonce source of the given width, drawing raw entropy
+// from next (typically sim.RNG's Uint64). Widths outside [1,64] panic.
+func NewSource(bits uint, next func() uint64) *Source {
+	if bits < 1 || bits > 64 {
+		panic(fmt.Sprintf("keys: width %d out of [1,64]", bits))
+	}
+	var mask Key
+	if bits == 64 {
+		mask = ^Key(0)
+	} else {
+		mask = Key(1)<<bits - 1
+	}
+	return &Source{bits: bits, mask: mask, next: next}
+}
+
+// Bits reports the key width in bits.
+func (s *Source) Bits() uint { return s.bits }
+
+// Mask returns the width mask; any externally supplied key must be reduced
+// with it before comparison.
+func (s *Source) Mask() Key { return s.mask }
+
+// Nonce mints a fresh uniform key-sized nonce.
+func (s *Source) Nonce() Key { return Key(s.next()) & s.mask }
+
+// Accumulator incrementally XOR-folds components, the streaming form the
+// sender uses while generating packets in real time (the C_g variable of
+// Figure 4). The zero value is ready to use.
+type Accumulator struct {
+	acc Key
+	n   int
+}
+
+// Add folds one component into the accumulator.
+func (a *Accumulator) Add(k Key) {
+	a.acc ^= k
+	a.n++
+}
+
+// Sum returns the XOR of everything added so far.
+func (a *Accumulator) Sum() Key { return a.acc }
+
+// Count reports how many components were folded in.
+func (a *Accumulator) Count() int { return a.n }
+
+// Reset clears the accumulator for the next time slot.
+func (a *Accumulator) Reset() { a.acc = 0; a.n = 0 }

@@ -1,0 +1,164 @@
+package keys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deltasigma/internal/sim"
+)
+
+func newTestSource(bits uint) *Source {
+	rng := sim.NewRNG(99)
+	return NewSource(bits, rng.Uint64)
+}
+
+func TestXOREmpty(t *testing.T) {
+	if XOR() != 0 {
+		t.Fatal("empty XOR should be 0")
+	}
+}
+
+func TestXORSelfInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Key(a), Key(b)
+		return XOR(x, y, y) == x && XOR(x, x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := Key(a), Key(b), Key(c)
+		return XOR(x, y, z) == XOR(z, y, x) && XOR(XOR(x, y), z) == XOR(x, XOR(y, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceWidth(t *testing.T) {
+	for _, bits := range []uint{1, 8, 16, 32, 63, 64} {
+		s := newTestSource(bits)
+		for i := 0; i < 100; i++ {
+			n := s.Nonce()
+			if n&^s.Mask() != 0 {
+				t.Fatalf("bits=%d: nonce %v exceeds mask %v", bits, n, s.Mask())
+			}
+		}
+	}
+}
+
+func TestSourceBadWidthPanics(t *testing.T) {
+	for _, bits := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSource(%d) should panic", bits)
+				}
+			}()
+			newTestSource(bits)
+		}()
+	}
+}
+
+func TestSource16BitMask(t *testing.T) {
+	s := newTestSource(DefaultBits)
+	if s.Mask() != 0xffff {
+		t.Fatalf("16-bit mask = %v, want 0xffff", s.Mask())
+	}
+	if s.Bits() != 16 {
+		t.Fatalf("Bits = %d", s.Bits())
+	}
+}
+
+func TestSource64BitMask(t *testing.T) {
+	s := newTestSource(64)
+	if s.Mask() != ^Key(0) {
+		t.Fatalf("64-bit mask = %v", s.Mask())
+	}
+}
+
+func TestNonceSpread(t *testing.T) {
+	// 16-bit nonces over 4096 draws should hit many distinct values; a
+	// degenerate source would repeat.
+	s := newTestSource(16)
+	seen := map[Key]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[s.Nonce()] = true
+	}
+	if len(seen) < 3500 {
+		t.Fatalf("only %d distinct nonces in 4096 draws", len(seen))
+	}
+}
+
+func TestAccumulatorMatchesXOR(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var a Accumulator
+		ks := make([]Key, len(vals))
+		for i, v := range vals {
+			ks[i] = Key(v)
+			a.Add(ks[i])
+		}
+		return a.Sum() == XOR(ks...) && a.Count() == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	a.Add(9)
+	a.Reset()
+	if a.Sum() != 0 || a.Count() != 0 {
+		t.Fatal("Reset should zero the accumulator")
+	}
+}
+
+// Property at the heart of DELTA's security argument: removing any single
+// component from a key's composition leaves the XOR of the rest different
+// from the key whenever the removed component is nonzero. A receiver missing
+// one nonce therefore cannot name the key (short of guessing).
+func TestMissingComponentChangesKey(t *testing.T) {
+	s := newTestSource(16)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + trial%20
+		comps := make([]Key, n)
+		for i := range comps {
+			comps[i] = s.Nonce()
+		}
+		full := XOR(comps...)
+		for i, c := range comps {
+			if c == 0 {
+				continue // zero nonce removal is undetectable by design of XOR
+			}
+			rest := XOR(full, c) // XOR-ing out = removing
+			if rest == full {
+				t.Fatalf("trial %d: removing nonzero component %d did not change key", trial, i)
+			}
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := Key(0xabcd).String(); got != "0x000000000000abcd" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkNonce(b *testing.B) {
+	s := newTestSource(16)
+	for i := 0; i < b.N; i++ {
+		_ = s.Nonce()
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(Key(i))
+	}
+}

@@ -1,0 +1,232 @@
+// Package mcast provides the IP-multicast substrate: group distribution
+// trees with realistic per-hop graft latency, packet replication at routers,
+// edge-router local-interface management, and the plain-IGMP membership
+// behaviour that SIGMA replaces.
+//
+// Routing is source-rooted shortest-path (the role DVMRP/PIM plays under
+// NS-2 in the paper): when an edge router acquires its first interested
+// local interface for a group, a graft propagates hop-by-hop toward the
+// session source and activates the branch; when the last interface goes
+// away the branch is pruned. Prune latency is configurable and defaults to
+// zero, which models FLID-DL's dynamic layering — the entire point of DL is
+// that receivers reduce their rate without waiting on IGMP leave latency
+// (see DESIGN.md, substitution table).
+package mcast
+
+import (
+	"fmt"
+
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Fabric tracks the distribution tree of every multicast group: which
+// directed links currently carry the group, reference-counted by the edge
+// routers whose graft paths use them.
+type Fabric struct {
+	net *netsim.Network
+
+	// PruneDelayPerPath, when positive, delays branch deactivation after a
+	// prune (models IGMP leave latency; zero models dynamic layering).
+	PruneDelayPerPath sim.Time
+
+	sources map[packet.Addr]netsim.NodeID        // group → source node
+	refs    map[packet.Addr]map[*netsim.Link]int // group → link → edge count
+	grafts  map[graftKey]*graftState
+
+	// Grafts counts graft operations (test observability).
+	Grafts uint64
+	// Prunes counts prune operations.
+	Prunes uint64
+}
+
+type graftKey struct {
+	group packet.Addr
+	edge  netsim.NodeID
+}
+
+type graftState struct {
+	joined  bool
+	applied bool
+	timer   *sim.Timer
+	path    []*netsim.Link // links incremented when the graft applied
+}
+
+// NewFabric creates a fabric over net.
+func NewFabric(net *netsim.Network) *Fabric {
+	return &Fabric{
+		net:     net,
+		sources: make(map[packet.Addr]netsim.NodeID),
+		refs:    make(map[packet.Addr]map[*netsim.Link]int),
+		grafts:  make(map[graftKey]*graftState),
+	}
+}
+
+// SetSource registers the node that originates traffic for group. Sessions
+// call this once per group before any graft.
+func (f *Fabric) SetSource(group packet.Addr, src netsim.NodeID) {
+	if !group.IsMulticast() {
+		panic(fmt.Sprintf("mcast: %v is not a multicast group", group))
+	}
+	f.sources[group] = src
+}
+
+// Source returns the registered source of a group.
+func (f *Fabric) Source(group packet.Addr) (netsim.NodeID, bool) {
+	id, ok := f.sources[group]
+	return id, ok
+}
+
+// Graft requests that group traffic start flowing to edge router edge. The
+// branch activates after the graft message has propagated hop-by-hop from
+// the edge to the nearest on-tree router (or the source). Idempotent while
+// joined.
+func (f *Fabric) Graft(group packet.Addr, edge netsim.NodeID) {
+	key := graftKey{group, edge}
+	st := f.grafts[key]
+	if st == nil {
+		st = &graftState{}
+		f.grafts[key] = st
+	}
+	if st.joined {
+		return
+	}
+	src, ok := f.sources[group]
+	if !ok {
+		panic(fmt.Sprintf("mcast: graft for group %v with no source", group))
+	}
+	st.joined = true
+	f.Grafts++
+
+	path := f.downstreamPath(src, edge)
+	if path == nil {
+		// No route; stay joined so a later prune is a no-op, but never apply.
+		return
+	}
+	delay := f.graftDelay(group, path)
+	st.timer = f.net.Scheduler().After(delay, func() {
+		if !st.joined {
+			return // pruned while the graft was in flight
+		}
+		st.applied = true
+		st.path = path
+		r := f.groupRefs(group)
+		for _, l := range path {
+			r[l]++
+		}
+	})
+}
+
+// Prune requests that group traffic stop flowing to edge. With
+// PruneDelayPerPath zero the branch deactivates immediately.
+func (f *Fabric) Prune(group packet.Addr, edge netsim.NodeID) {
+	st := f.grafts[graftKey{group, edge}]
+	if st == nil || !st.joined {
+		return
+	}
+	st.joined = false
+	f.Prunes++
+	if !st.applied {
+		st.timer.Stop()
+		return
+	}
+	st.applied = false
+	path := st.path
+	st.path = nil
+	deactivate := func() {
+		r := f.groupRefs(group)
+		for _, l := range path {
+			if r[l] > 0 {
+				r[l]--
+			}
+		}
+	}
+	if f.PruneDelayPerPath > 0 {
+		f.net.Scheduler().After(f.PruneDelayPerPath, deactivate)
+	} else {
+		deactivate()
+	}
+}
+
+// Joined reports whether edge currently has a (possibly still propagating)
+// graft for group.
+func (f *Fabric) Joined(group packet.Addr, edge netsim.NodeID) bool {
+	st := f.grafts[graftKey{group, edge}]
+	return st != nil && st.joined
+}
+
+// ShouldForward reports whether a packet of group arriving at l.From()
+// should be replicated onto l.
+func (f *Fabric) ShouldForward(group packet.Addr, l *netsim.Link) bool {
+	return f.refs[group][l] > 0
+}
+
+// ActiveLinks reports how many links currently carry the group, an
+// observability hook for tests.
+func (f *Fabric) ActiveLinks(group packet.Addr) int {
+	n := 0
+	for _, c := range f.refs[group] {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fabric) groupRefs(group packet.Addr) map[*netsim.Link]int {
+	r := f.refs[group]
+	if r == nil {
+		r = make(map[*netsim.Link]int)
+		f.refs[group] = r
+	}
+	return r
+}
+
+// downstreamPath lists the directed links from src to edge along the
+// shortest path.
+func (f *Fabric) downstreamPath(src, edge netsim.NodeID) []*netsim.Link {
+	nodes := f.net.Path(src, edge)
+	if nodes == nil {
+		return nil
+	}
+	links := make([]*netsim.Link, 0, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		l := f.net.LinkBetween(nodes[i], nodes[i+1])
+		if l == nil {
+			return nil
+		}
+		links = append(links, l)
+	}
+	return links
+}
+
+// graftDelay is the time for a graft originating at the edge to reach the
+// nearest router that is already on the group's tree, walking the
+// downstream path in reverse and summing the reverse-direction link delays.
+func (f *Fabric) graftDelay(group packet.Addr, downstream []*netsim.Link) sim.Time {
+	r := f.refs[group]
+	var delay sim.Time
+	// Walk from the edge end upward. Stop as soon as the node at the head
+	// of the remaining path is on-tree: a node is on-tree when some link
+	// into it carries the group (or it is the source, i.e. the path start).
+	for i := len(downstream) - 1; i >= 0; i-- {
+		l := downstream[i]
+		// The graft travels the reverse direction of l.
+		rev := f.net.LinkBetween(l.To().ID(), l.From().ID())
+		if rev != nil {
+			delay += rev.Delay
+		} else {
+			delay += l.Delay
+		}
+		if i == 0 {
+			break // reached the source
+		}
+		// Is the node feeding l already on the tree?
+		feeder := downstream[i-1]
+		if r[feeder] > 0 {
+			break
+		}
+	}
+	return delay
+}

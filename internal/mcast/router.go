@@ -1,0 +1,174 @@
+package mcast
+
+import (
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+)
+
+// Gatekeeper decides which local interfaces may receive a multicast group's
+// packets, and consumes the control messages that drive those decisions.
+// The plain-IGMP gatekeeper accepts everything (the insecure baseline);
+// SIGMA's controller enforces key-based access. The interface is the
+// embodiment of Requirement 3: the router below is identical for every
+// congestion control protocol — all protocol awareness lives behind it.
+type Gatekeeper interface {
+	// Deliver reports whether a packet of group may be forwarded onto the
+	// local interface of host.
+	Deliver(group packet.Addr, host packet.Addr) bool
+	// Control handles a group-management message (IGMP or SIGMA) sent by a
+	// local host to this router.
+	Control(pkt *packet.Packet, from packet.Addr)
+	// Intercept consumes a router-alert packet (SIGMA special packet).
+	Intercept(pkt *packet.Packet)
+}
+
+// LocalTransformer is an optional Gatekeeper extension: rewrite a packet
+// just before delivery onto a specific local interface. SIGMA uses it for
+// ECN component scrubbing and §4.2 interface keying.
+type LocalTransformer interface {
+	TransformLocal(pkt *packet.Packet, host packet.Addr) *packet.Packet
+}
+
+// Router is a multicast-capable router node. Core and edge routers run the
+// same code; a router acts as an edge exactly where hosts are attached.
+// Its multicast behaviour is protocol-independent: distribution-tree
+// forwarding comes from the Fabric, and local-interface policy from the
+// Gatekeeper.
+type Router struct {
+	id     netsim.NodeID
+	name   string
+	addr   packet.Addr
+	net    *netsim.Network
+	fabric *Fabric
+
+	locals map[packet.Addr]*netsim.Host // local interfaces by host address
+	gate   Gatekeeper
+
+	// ForwardedMcast counts multicast packets replicated downstream.
+	ForwardedMcast uint64
+	// DeliveredLocal counts multicast packets delivered onto local interfaces.
+	DeliveredLocal uint64
+}
+
+// NewRouter creates a router attached to net and fabric.
+func NewRouter(net *netsim.Network, fabric *Fabric, name string) *Router {
+	r := &Router{name: name, net: net, fabric: fabric, locals: make(map[packet.Addr]*netsim.Host)}
+	net.Add(func(id netsim.NodeID) netsim.Node { r.id = id; return r })
+	r.addr = net.AssignAddr(r)
+	return r
+}
+
+// ID implements netsim.Node.
+func (r *Router) ID() netsim.NodeID { return r.id }
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// Addr returns the router's control address; local receivers send their
+// IGMP/SIGMA messages here.
+func (r *Router) Addr() packet.Addr { return r.addr }
+
+// Fabric returns the multicast fabric this router forwards from.
+func (r *Router) Fabric() *Fabric { return r.fabric }
+
+// Network returns the underlying network.
+func (r *Router) Network() *netsim.Network { return r.net }
+
+// AttachLocal declares host as a local interface of this (edge) router.
+// The caller is responsible for having connected the host to the router.
+func (r *Router) AttachLocal(h *netsim.Host) {
+	r.locals[h.Addr()] = h
+}
+
+// Locals returns the attached local hosts keyed by address.
+func (r *Router) Locals() map[packet.Addr]*netsim.Host { return r.locals }
+
+// SetGatekeeper installs the local-interface policy. Installing the IGMP
+// gatekeeper models a legacy router; installing SIGMA's controller makes
+// this an access-controlled edge (§3.2.3 incremental deployment: each
+// router chooses independently).
+func (r *Router) SetGatekeeper(g Gatekeeper) { r.gate = g }
+
+// Gatekeeper returns the installed policy.
+func (r *Router) Gatekeeper() Gatekeeper { return r.gate }
+
+// Graft asks the fabric to extend the group's tree to this router. The
+// gatekeeper calls this when a local interface becomes entitled to a group.
+func (r *Router) Graft(group packet.Addr) { r.fabric.Graft(group, r.id) }
+
+// Prune asks the fabric to cut this router off the group's tree.
+func (r *Router) Prune(group packet.Addr) { r.fabric.Prune(group, r.id) }
+
+// SendLocal transmits a packet directly onto the local interface of the
+// addressed host (used for SIGMA acknowledgments).
+func (r *Router) SendLocal(pkt *packet.Packet) {
+	id, ok := r.net.HostByAddr(pkt.Dst)
+	if !ok {
+		return
+	}
+	if l := r.net.LinkBetween(r.id, id); l != nil {
+		l.Send(pkt)
+	}
+}
+
+// Receive implements netsim.Node. Routing logic:
+//   - unicast to the router itself → control message for the gatekeeper;
+//   - unicast elsewhere → forward along the shortest path;
+//   - multicast → replicate along the group tree, intercept router-alert
+//     packets at the gatekeeper, and deliver onto entitled local interfaces.
+func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
+	if !pkt.Dst.IsMulticast() {
+		if pkt.Dst == r.addr {
+			if r.gate != nil {
+				r.gate.Control(pkt, pkt.Src)
+			}
+			return
+		}
+		if next := r.net.NextHopLink(r.id, pkt.Dst); next != nil {
+			next.Send(pkt)
+		}
+		return
+	}
+
+	group := pkt.Dst
+
+	// Replicate downstream along the distribution tree.
+	var fromRev netsim.NodeID = -1
+	if from != nil {
+		fromRev = from.From().ID()
+	}
+	for _, out := range r.net.OutLinks(r.id) {
+		if out.To().ID() == fromRev {
+			continue // never reflect back upstream
+		}
+		if r.fabric.ShouldForward(group, out) {
+			out.Send(pkt.Clone())
+			r.ForwardedMcast++
+		}
+	}
+
+	// Router-alert packets are intercepted by edge gatekeepers and never
+	// delivered onto local interfaces (§3.2.1).
+	if pkt.Alert {
+		if r.gate != nil && len(r.locals) > 0 {
+			r.gate.Intercept(pkt)
+		}
+		return
+	}
+
+	// Local delivery, subject to the gatekeeper.
+	transformer, _ := r.gate.(LocalTransformer)
+	for addr, h := range r.locals {
+		if r.gate == nil || !r.gate.Deliver(group, addr) {
+			continue
+		}
+		if l := r.net.LinkBetween(r.id, h.ID()); l != nil {
+			out := pkt
+			if transformer != nil {
+				out = transformer.TransformLocal(pkt, addr)
+			}
+			l.Send(out.Clone())
+			r.DeliveredLocal++
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Queue is a drop-tail FIFO bounded in bytes, with optional threshold ECN
+// marking for the ECN-driven protocol variant (§3.1.2 "Congestion
+// notification").
+type Queue struct {
+	CapBytes  int // maximum queued bytes; <=0 means unbounded
+	MarkAt    int // ECN-mark packets enqueued beyond this many bytes; 0 disables
+	bytes     int
+	pkts      []*packet.Packet
+	Dropped   uint64
+	Marked    uint64
+	MaxFilled int
+}
+
+// Len reports the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Bytes reports the queued byte total.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// push appends pkt if it fits, returning false on a drop-tail drop. When the
+// queue is in marking mode and occupancy exceeds MarkAt, the packet is
+// CE-marked instead of dropped (marking replaces loss as the congestion
+// signal; capacity still backstops).
+func (q *Queue) push(pkt *packet.Packet) bool {
+	if q.CapBytes > 0 && q.bytes+pkt.Size > q.CapBytes {
+		q.Dropped++
+		return false
+	}
+	if q.MarkAt > 0 && q.bytes >= q.MarkAt {
+		pkt = pkt.Clone()
+		pkt.ECN = true
+		q.Marked++
+	}
+	q.pkts = append(q.pkts, pkt)
+	q.bytes += pkt.Size
+	if q.bytes > q.MaxFilled {
+		q.MaxFilled = q.bytes
+	}
+	return true
+}
+
+// pop removes and returns the head packet, or nil when empty.
+func (q *Queue) pop() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	pkt := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= pkt.Size
+	if len(q.pkts) == 0 {
+		q.pkts = nil // let the backing array go once drained
+	}
+	return pkt
+}
+
+// Link is a unidirectional rate/delay pipe with an attached queue. A duplex
+// connection is a pair of Links. Transmission serializes packets at Rate;
+// after serialization the packet propagates for Delay and is delivered to
+// the destination node.
+type Link struct {
+	src, dst Node
+	Rate     int64    // bits per second
+	Delay    sim.Time // propagation delay
+	Queue    Queue
+	sched    *sim.Scheduler
+	busy     bool
+
+	// Delivered counts packets handed to dst.
+	Delivered uint64
+	// SentBytes counts bytes that completed serialization.
+	SentBytes uint64
+	// OnDeliver, when set, observes every delivery (tracing hook).
+	OnDeliver func(pkt *packet.Packet)
+}
+
+// From returns the upstream node.
+func (l *Link) From() Node { return l.src }
+
+// To returns the downstream node.
+func (l *Link) To() Node { return l.dst }
+
+// String labels the link for traces.
+func (l *Link) String() string {
+	return fmt.Sprintf("%s->%s", l.src.Name(), l.dst.Name())
+}
+
+// txTime returns the serialization time of size bytes at the link rate.
+func (l *Link) txTime(size int) sim.Time {
+	return sim.Time(int64(size) * 8 * int64(sim.Second) / l.Rate)
+}
+
+// Send enqueues pkt for transmission, dropping it if the queue is full.
+func (l *Link) Send(pkt *packet.Packet) {
+	if !l.Queue.push(pkt) {
+		return
+	}
+	if !l.busy {
+		l.startTransmission()
+	}
+}
+
+func (l *Link) startTransmission() {
+	pkt := l.Queue.pop()
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := l.txTime(pkt.Size)
+	l.sched.After(tx, func() {
+		l.SentBytes += uint64(pkt.Size)
+		// Propagation is pipelined: the next packet starts serializing
+		// immediately while this one is in flight.
+		l.sched.After(l.Delay, func() {
+			l.Delivered++
+			if l.OnDeliver != nil {
+				l.OnDeliver(pkt)
+			}
+			l.dst.Receive(pkt, l)
+		})
+		l.startTransmission()
+	})
+}

@@ -1,0 +1,359 @@
+package netsim
+
+import (
+	"testing"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// fwd is a minimal unicast router used to exercise the substrate before the
+// real multicast router (internal/mcast) exists.
+type fwd struct {
+	id   NodeID
+	name string
+	net  *Network
+}
+
+func (f *fwd) ID() NodeID   { return f.id }
+func (f *fwd) Name() string { return f.name }
+func (f *fwd) Receive(pkt *packet.Packet, from *Link) {
+	if l := f.net.NextHopLink(f.id, pkt.Dst); l != nil {
+		l.Send(pkt)
+	}
+}
+
+func addFwd(n *Network, name string) *fwd {
+	f := &fwd{name: name, net: n}
+	n.Add(func(id NodeID) Node { f.id = id; return f })
+	return f
+}
+
+func newNet() (*sim.Scheduler, *Network) {
+	sched := sim.NewScheduler()
+	return sched, New(sched, sim.NewRNG(1))
+}
+
+func TestHostAddressesAreUniqueUnicast(t *testing.T) {
+	_, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	if a.Addr() == b.Addr() {
+		t.Fatal("hosts share an address")
+	}
+	if a.Addr().IsMulticast() || b.Addr().IsMulticast() {
+		t.Fatal("host got a multicast address")
+	}
+	if id, ok := n.HostByAddr(a.Addr()); !ok || id != a.ID() {
+		t.Fatal("HostByAddr lookup failed")
+	}
+}
+
+func TestLinkDeliversWithSerializationAndPropagation(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	// 1 Mbps, 10 ms: a 1000-byte packet serializes in 8 ms, arrives at 18 ms.
+	n.Connect(a, b, 1_000_000, 10*sim.Millisecond, 1<<20)
+	n.ComputeRoutes()
+
+	var arrived sim.Time
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) { arrived = sched.Now() })
+	sched.At(0, func() { a.Send(packet.New(a.Addr(), b.Addr(), 1000, nil)) })
+	sched.Run()
+	want := 18 * sim.Millisecond
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, 1_000_000, 0, 1<<20)
+	n.ComputeRoutes()
+
+	var arrivals []sim.Time
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) { arrivals = append(arrivals, sched.Now()) })
+	sched.At(0, func() {
+		for i := 0; i < 3; i++ {
+			a.Send(packet.New(a.Addr(), b.Addr(), 1000, nil))
+		}
+	})
+	sched.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrivals))
+	}
+	// Each packet serializes in 8 ms; deliveries at 8, 16, 24 ms.
+	for i, at := range arrivals {
+		want := sim.Time(i+1) * 8 * sim.Millisecond
+		if at != want {
+			t.Fatalf("packet %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	ab, _ := n.Connect(a, b, 1_000_000, 0, 2500) // room for ~2 packets beyond the one in service
+	n.ComputeRoutes()
+
+	delivered := 0
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) { delivered++ })
+	sched.At(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(packet.New(a.Addr(), b.Addr(), 1000, nil))
+		}
+	})
+	sched.Run()
+	// First packet dequeues instantly leaving queue empty, then packets fill
+	// the 2500-byte queue (2 packets); subsequent sends drop. As the line
+	// drains one more packet fits per dequeue... but all sends happen at
+	// t=0, so: 1 in service + 2 queued = 3 delivered, 7 dropped.
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+	if ab.Queue.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", ab.Queue.Dropped)
+	}
+}
+
+func TestQueueECNMarking(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	ab, _ := n.Connect(a, b, 1_000_000, 0, 1<<20)
+	ab.Queue.MarkAt = 1500
+	n.ComputeRoutes()
+
+	var marks, total int
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) {
+		total++
+		if pkt.ECN {
+			marks++
+		}
+	})
+	sched.At(0, func() {
+		for i := 0; i < 5; i++ {
+			a.Send(packet.New(a.Addr(), b.Addr(), 1000, nil))
+		}
+	})
+	sched.Run()
+	if total != 5 {
+		t.Fatalf("delivered %d, want 5", total)
+	}
+	// Packet 0 enters service (queue empty). Packets 1,2 enqueue below the
+	// 1500B threshold crossing... occupancy when pushing pkt2 is 1000 -> no
+	// mark; pkt3 sees 2000 >= 1500 -> marked; pkt4 sees 3000 -> marked.
+	if marks != 2 {
+		t.Fatalf("marked %d, want 2", marks)
+	}
+	if ab.Queue.Marked != 2 {
+		t.Fatalf("queue.Marked = %d, want 2", ab.Queue.Marked)
+	}
+}
+
+func TestECNMarkDoesNotMutateSharedPacket(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	ab, _ := n.Connect(a, b, 1_000_000, 0, 1<<20)
+	ab.Queue.MarkAt = 1
+	n.ComputeRoutes()
+
+	orig := packet.New(a.Addr(), b.Addr(), 1000, nil)
+	sched.At(0, func() {
+		a.Send(packet.New(a.Addr(), b.Addr(), 1000, nil)) // fills service
+		a.Send(orig)                                      // enqueued, marked
+	})
+	sched.Run()
+	if orig.ECN {
+		t.Fatal("marking mutated the sender's packet instead of a clone")
+	}
+}
+
+func TestRoutingPrefersLowDelayPath(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	r1 := addFwd(n, "r1")
+	r2 := addFwd(n, "r2")
+	// Two paths a->r1->b (fast) and a->r2->b (slow).
+	n.Connect(a, r1, 10_000_000, 1*sim.Millisecond, 1<<20)
+	n.Connect(r1, b, 10_000_000, 1*sim.Millisecond, 1<<20)
+	n.Connect(a, r2, 10_000_000, 50*sim.Millisecond, 1<<20)
+	n.Connect(r2, b, 10_000_000, 50*sim.Millisecond, 1<<20)
+	n.ComputeRoutes()
+
+	// Host access link is its first link (to r1 here), but routing from r1
+	// onward must pick the direct r1->b link.
+	path := n.Path(a.ID(), b.ID())
+	if len(path) != 3 || path[1] != r1.ID() {
+		t.Fatalf("path = %v, want a->r1->b", path)
+	}
+	d, ok := n.PathDelay(a.ID(), b.ID())
+	if !ok || d != 2*sim.Millisecond {
+		t.Fatalf("PathDelay = %v ok=%v, want 2ms", d, ok)
+	}
+
+	got := 0
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) { got++ })
+	sched.At(0, func() { a.Send(packet.New(a.Addr(), b.Addr(), 100, nil)) })
+	sched.Run()
+	if got != 1 {
+		t.Fatal("packet not delivered through router")
+	}
+}
+
+func TestRoutingMultiHopChain(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	r1 := addFwd(n, "r1")
+	r2 := addFwd(n, "r2")
+	r3 := addFwd(n, "r3")
+	n.Connect(a, r1, 10_000_000, sim.Millisecond, 1<<20)
+	n.Connect(r1, r2, 10_000_000, sim.Millisecond, 1<<20)
+	n.Connect(r2, r3, 10_000_000, sim.Millisecond, 1<<20)
+	n.Connect(r3, b, 10_000_000, sim.Millisecond, 1<<20)
+	n.ComputeRoutes()
+
+	got := 0
+	b.Handle(packet.ProtoNone, func(pkt *packet.Packet) { got++ })
+	sched.At(0, func() { a.Send(packet.New(a.Addr(), b.Addr(), 100, nil)) })
+	sched.Run()
+	if got != 1 {
+		t.Fatal("packet lost on multi-hop chain")
+	}
+	if p := n.Path(a.ID(), b.ID()); len(p) != 5 {
+		t.Fatalf("path length %d, want 5", len(p))
+	}
+}
+
+func TestUnreachableDestination(t *testing.T) {
+	_, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b") // never connected
+	n.Connect(a, addFwd(n, "r"), 1_000_000, 0, 1<<20)
+	n.ComputeRoutes()
+	if l := n.NextHopLink(a.ID(), b.Addr()); l != nil {
+		// a's access link exists but b is unreachable from r; from a the
+		// first hop may exist, so check from the router instead.
+		t.Log("first hop exists; checking router")
+	}
+	if _, ok := n.PathDelay(a.ID(), b.ID()); ok {
+		t.Fatal("PathDelay should fail for unreachable node")
+	}
+	if p := n.Path(a.ID(), b.ID()); p != nil {
+		t.Fatalf("Path should be nil, got %v", p)
+	}
+}
+
+func TestHostHandlerDispatchByProto(t *testing.T) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, 1_000_000, 0, 1<<20)
+	n.ComputeRoutes()
+
+	var tcp, all int
+	b.Handle(packet.ProtoTCP, func(pkt *packet.Packet) { tcp++ })
+	b.HandleAll(func(pkt *packet.Packet) { all++ })
+	sched.At(0, func() {
+		a.Send(packet.New(a.Addr(), b.Addr(), 576, &packet.TCPHeader{Flow: 1, Seq: 0, Len: 536}))
+		a.Send(packet.New(a.Addr(), b.Addr(), 576, &packet.CBRHeader{Flow: 1}))
+	})
+	sched.Run()
+	if tcp != 1 {
+		t.Fatalf("tcp handler fired %d times, want 1", tcp)
+	}
+	if all != 2 {
+		t.Fatalf("catch-all fired %d times, want 2", all)
+	}
+	if b.Received[packet.ProtoCBR] != 1 || b.RecvBytes != 1152 {
+		t.Fatalf("accounting wrong: %v recvBytes=%d", b.Received, b.RecvBytes)
+	}
+}
+
+func TestNewUIDMonotone(t *testing.T) {
+	_, n := newNet()
+	prev := n.NewUID()
+	for i := 0; i < 100; i++ {
+		u := n.NewUID()
+		if u <= prev {
+			t.Fatal("UIDs must increase")
+		}
+		prev = u
+	}
+}
+
+func TestConnectRejectsZeroRate(t *testing.T) {
+	_, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect with rate 0 should panic")
+		}
+	}()
+	n.Connect(a, b, 0, 0, 0)
+}
+
+func TestAccessRouter(t *testing.T) {
+	_, n := newNet()
+	a := n.AddHost("a")
+	r := addFwd(n, "r")
+	n.Connect(a, r, 1_000_000, 0, 1<<20)
+	if got := n.AccessRouter(a); got == nil || got.ID() != r.ID() {
+		t.Fatal("AccessRouter should return r")
+	}
+	orphan := n.AddHost("orphan")
+	if n.AccessRouter(orphan) != nil {
+		t.Fatal("orphan host should have no access router")
+	}
+}
+
+func TestThroughputMatchesLinkRate(t *testing.T) {
+	// Saturate a 1 Mbps link for 10 simulated seconds; delivered bytes must
+	// match the line rate within one packet.
+	sched, n := newNet()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, 1_000_000, 5*sim.Millisecond, 10_000)
+	n.ComputeRoutes()
+
+	const pktSize = 1000
+	var send func()
+	send = func() {
+		a.Send(packet.New(a.Addr(), b.Addr(), pktSize, nil))
+		// Offer 2 Mbps so the link stays saturated.
+		sched.After(4*sim.Millisecond, send)
+	}
+	sched.At(0, send)
+	sched.RunUntil(10 * sim.Second)
+
+	gotBits := float64(b.RecvBytes) * 8
+	wantBits := 1_000_000 * 10.0
+	if gotBits < wantBits*0.98 || gotBits > wantBits*1.01 {
+		t.Fatalf("throughput %v bits over 10s, want ~%v", gotBits, wantBits)
+	}
+}
+
+func BenchmarkLinkSaturation(b *testing.B) {
+	sched, n := newNet()
+	a := n.AddHost("a")
+	dst := n.AddHost("b")
+	n.Connect(a, dst, 100_000_000, sim.Millisecond, 1<<20)
+	n.ComputeRoutes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(packet.New(a.Addr(), dst.Addr(), 576, nil))
+		if i%1000 == 0 {
+			sched.RunUntil(sched.Now() + sim.Millisecond)
+		}
+	}
+	sched.Run()
+}

@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// hostAddrBase is where unicast host addresses are allocated from
+// (10.0.0.1 onward).
+const hostAddrBase packet.Addr = 0x0A000001
+
+// Network assembles nodes and links, allocates addresses, and computes
+// unicast shortest-path routes. It is the substrate every scenario builds
+// its topology on.
+type Network struct {
+	sched *sim.Scheduler
+	rng   *sim.RNG
+
+	nodes  []Node
+	out    map[NodeID][]*Link
+	linkTo map[NodeID]map[NodeID]*Link
+	addrOf map[packet.Addr]NodeID
+
+	nextAddr packet.Addr
+	nextHop  [][]*Link // nextHop[from][dstNode]; nil = unreachable
+	uid      uint64
+}
+
+// New creates an empty network driven by sched, drawing any randomness from
+// rng (components fork their own sub-streams).
+func New(sched *sim.Scheduler, rng *sim.RNG) *Network {
+	return &Network{
+		sched:    sched,
+		rng:      rng,
+		out:      make(map[NodeID][]*Link),
+		linkTo:   make(map[NodeID]map[NodeID]*Link),
+		addrOf:   make(map[packet.Addr]NodeID),
+		nextAddr: hostAddrBase,
+	}
+}
+
+// Scheduler returns the simulation clock driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// RNG returns the network's randomness source.
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// NewUID issues a unique packet identifier for tracing.
+func (n *Network) NewUID() uint64 {
+	n.uid++
+	return n.uid
+}
+
+// Add registers a node constructed by make with a freshly assigned ID.
+// Router types in other packages use this to join the network.
+func (n *Network) Add(make func(id NodeID) Node) Node {
+	id := NodeID(len(n.nodes))
+	node := make(id)
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// AddHost creates a host with the given name and a fresh unicast address.
+func (n *Network) AddHost(name string) *Host {
+	h := &Host{name: name, net: n, addr: n.nextAddr}
+	n.nextAddr++
+	n.Add(func(id NodeID) Node { h.id = id; return h })
+	n.addrOf[h.addr] = h.id
+	return h
+}
+
+// AssignAddr allocates a unicast address for a non-host node (routers need
+// addresses so receivers can send them control messages).
+func (n *Network) AssignAddr(node Node) packet.Addr {
+	a := n.nextAddr
+	n.nextAddr++
+	n.addrOf[a] = node.ID()
+	return a
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// NodeCount reports how many nodes are registered.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// HostByAddr resolves a unicast address to its host node ID.
+func (n *Network) HostByAddr(a packet.Addr) (NodeID, bool) {
+	id, ok := n.addrOf[a]
+	return id, ok
+}
+
+// Connect joins a and b with a duplex pair of links, each with the given
+// rate (bits/s), propagation delay, and queue capacity in bytes. It returns
+// the a→b and b→a links.
+func (n *Network) Connect(a, b Node, rate int64, delay sim.Time, qcap int) (*Link, *Link) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %d on %s-%s", rate, a.Name(), b.Name()))
+	}
+	ab := &Link{src: a, dst: b, Rate: rate, Delay: delay, sched: n.sched, Queue: Queue{CapBytes: qcap}}
+	ba := &Link{src: b, dst: a, Rate: rate, Delay: delay, sched: n.sched, Queue: Queue{CapBytes: qcap}}
+	n.registerLink(ab)
+	n.registerLink(ba)
+	return ab, ba
+}
+
+func (n *Network) registerLink(l *Link) {
+	from, to := l.src.ID(), l.dst.ID()
+	n.out[from] = append(n.out[from], l)
+	if n.linkTo[from] == nil {
+		n.linkTo[from] = make(map[NodeID]*Link)
+	}
+	n.linkTo[from][to] = l
+}
+
+// OutLinks returns the outgoing links of a node.
+func (n *Network) OutLinks(id NodeID) []*Link { return n.out[id] }
+
+// LinkBetween returns the directed link from a to b, or nil.
+func (n *Network) LinkBetween(a, b NodeID) *Link {
+	return n.linkTo[a][b]
+}
+
+// accessLink returns a host's single outgoing link.
+func (n *Network) accessLink(id NodeID) *Link {
+	links := n.out[id]
+	if len(links) == 0 {
+		return nil
+	}
+	return links[0]
+}
+
+// AccessRouter returns the node at the far end of a host's access link.
+func (n *Network) AccessRouter(h *Host) Node {
+	l := n.accessLink(h.id)
+	if l == nil {
+		return nil
+	}
+	return l.dst
+}
+
+// ComputeRoutes runs Dijkstra from every node with link propagation delay
+// as the cost (plus a small per-hop term so equal-delay paths prefer fewer
+// hops). Must be called after topology construction and before traffic.
+func (n *Network) ComputeRoutes() {
+	const hopEpsilon = int64(sim.Microsecond)
+	count := len(n.nodes)
+	n.nextHop = make([][]*Link, count)
+	for src := 0; src < count; src++ {
+		n.nextHop[src] = n.dijkstra(NodeID(src), hopEpsilon)
+	}
+}
+
+type pqItem struct {
+	node NodeID
+	dist int64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i]; p[i].idx = i; p[j].idx = j }
+func (p *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// dijkstra returns, for every destination, the first link out of src on a
+// shortest path toward it.
+func (n *Network) dijkstra(src NodeID, hopEpsilon int64) []*Link {
+	count := len(n.nodes)
+	dist := make([]int64, count)
+	first := make([]*Link, count) // first hop link from src toward node
+	for i := range dist {
+		dist[i] = math.MaxInt64
+	}
+	dist[src] = 0
+	q := &pq{}
+	heap.Push(q, &pqItem{node: src})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, l := range n.out[it.node] {
+			to := l.dst.ID()
+			d := it.dist + int64(l.Delay) + hopEpsilon
+			if d < dist[to] {
+				dist[to] = d
+				if it.node == src {
+					first[to] = l
+				} else {
+					first[to] = first[it.node]
+				}
+				heap.Push(q, &pqItem{node: to, dist: d})
+			}
+		}
+	}
+	return first
+}
+
+// NextHopLink returns the link a packet at node from should take toward the
+// node that owns dst, or nil when dst is unknown or unreachable.
+func (n *Network) NextHopLink(from NodeID, dst packet.Addr) *Link {
+	id, ok := n.addrOf[dst]
+	if !ok {
+		return nil
+	}
+	return n.NextHopTo(from, id)
+}
+
+// NextHopTo returns the first link on the shortest path from one node to
+// another, or nil.
+func (n *Network) NextHopTo(from, to NodeID) *Link {
+	if n.nextHop == nil {
+		panic("netsim: ComputeRoutes not called")
+	}
+	if from == to {
+		return nil
+	}
+	return n.nextHop[from][to]
+}
+
+// PathDelay sums propagation delays on the shortest path between two nodes.
+// It returns false when no path exists.
+func (n *Network) PathDelay(from, to NodeID) (sim.Time, bool) {
+	var total sim.Time
+	cur := from
+	for cur != to {
+		l := n.NextHopTo(cur, to)
+		if l == nil {
+			return 0, false
+		}
+		total += l.Delay
+		cur = l.dst.ID()
+	}
+	return total, true
+}
+
+// Path returns the node sequence of the shortest path, inclusive of both
+// endpoints, or nil when unreachable.
+func (n *Network) Path(from, to NodeID) []NodeID {
+	path := []NodeID{from}
+	cur := from
+	for cur != to {
+		l := n.NextHopTo(cur, to)
+		if l == nil {
+			return nil
+		}
+		cur = l.dst.ID()
+		path = append(path, cur)
+	}
+	return path
+}

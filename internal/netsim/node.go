@@ -1,0 +1,91 @@
+// Package netsim models the network itself: nodes joined by unidirectional
+// rate/delay links with drop-tail queues, unicast shortest-path routing, and
+// hosts that hand received packets to protocol agents. Together with
+// internal/sim it fills the role NS-2 plays in the paper.
+package netsim
+
+import (
+	"fmt"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Node is anything packets can arrive at: hosts, core routers, edge routers.
+type Node interface {
+	// ID returns the node's network-unique identifier.
+	ID() NodeID
+	// Name returns the human-readable label used in traces.
+	Name() string
+	// Receive handles a packet arriving over from (nil when injected
+	// locally by an agent on this node).
+	Receive(pkt *packet.Packet, from *Link)
+}
+
+// Handler consumes packets delivered to a host.
+type Handler func(pkt *packet.Packet)
+
+// Host is an end system. Protocol agents attach per-protocol handlers; a
+// host never forwards traffic.
+type Host struct {
+	id       NodeID
+	name     string
+	addr     packet.Addr
+	net      *Network
+	handlers [16]Handler
+	anyProto Handler
+
+	// Received counts packets delivered to this host, by protocol.
+	Received [16]uint64
+	// RecvBytes counts bytes delivered to this host.
+	RecvBytes uint64
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's unicast address.
+func (h *Host) Addr() packet.Addr { return h.addr }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Handle registers fn for packets of protocol p delivered to the host.
+func (h *Host) Handle(p packet.Proto, fn Handler) { h.handlers[p] = fn }
+
+// HandleAll registers fn to observe every delivered packet, after the
+// per-protocol handler.
+func (h *Host) HandleAll(fn Handler) { h.anyProto = fn }
+
+// Receive implements Node: account the delivery and dispatch to handlers.
+func (h *Host) Receive(pkt *packet.Packet, from *Link) {
+	h.Received[pkt.Proto]++
+	h.RecvBytes += uint64(pkt.Size)
+	if fn := h.handlers[pkt.Proto]; fn != nil {
+		fn(pkt)
+	}
+	if h.anyProto != nil {
+		h.anyProto(pkt)
+	}
+}
+
+// Send transmits pkt from this host toward pkt.Dst over the host's access
+// link (hosts are single-homed; multihomed hosts are not needed by any
+// experiment). Multicast destinations are handed to the access router too:
+// group delivery is the router's job.
+func (h *Host) Send(pkt *packet.Packet) {
+	link := h.net.accessLink(h.id)
+	if link == nil {
+		panic(fmt.Sprintf("netsim: host %s has no access link", h.name))
+	}
+	link.Send(pkt)
+}
+
+// Scheduler exposes the simulation clock to agents running on the host.
+func (h *Host) Scheduler() *sim.Scheduler { return h.net.sched }

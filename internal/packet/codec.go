@@ -1,0 +1,316 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"deltasigma/internal/keys"
+)
+
+// Wire format: a 24-byte common header (magic, version, proto, flags, src,
+// dst, size, uid), the typed protocol header, then zero padding up to the
+// declared size. All integers are big-endian.
+
+const (
+	wireMagic   = 0xD5
+	wireVersion = 1
+
+	flagECN   = 1 << 0
+	flagAlert = 1 << 1
+)
+
+// Encode serializes the packet to its wire representation. The result is
+// exactly p.Size bytes.
+func Encode(p *Packet) ([]byte, error) {
+	hdrLen := CommonWireLen
+	if p.Header != nil {
+		hdrLen += p.Header.WireLen()
+	}
+	if p.Size < hdrLen {
+		return nil, fmt.Errorf("packet: size %d smaller than headers %d", p.Size, hdrLen)
+	}
+	buf := make([]byte, p.Size)
+	buf[0] = wireMagic
+	buf[1] = wireVersion
+	buf[2] = byte(p.Proto)
+	var flags byte
+	if p.ECN {
+		flags |= flagECN
+	}
+	if p.Alert {
+		flags |= flagAlert
+	}
+	buf[3] = flags
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Dst))
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.Size))
+	binary.BigEndian.PutUint64(buf[16:], p.UID)
+	if p.Header != nil {
+		if err := encodeHeader(buf[CommonWireLen:], p.Header); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses a wire representation produced by Encode.
+func Decode(data []byte) (*Packet, error) {
+	if len(data) < CommonWireLen {
+		return nil, errors.New("packet: short common header")
+	}
+	if data[0] != wireMagic {
+		return nil, fmt.Errorf("packet: bad magic %#x", data[0])
+	}
+	if data[1] != wireVersion {
+		return nil, fmt.Errorf("packet: unsupported version %d", data[1])
+	}
+	p := &Packet{
+		Proto: Proto(data[2]),
+		ECN:   data[3]&flagECN != 0,
+		Alert: data[3]&flagAlert != 0,
+		Src:   Addr(binary.BigEndian.Uint32(data[4:])),
+		Dst:   Addr(binary.BigEndian.Uint32(data[8:])),
+		Size:  int(binary.BigEndian.Uint32(data[12:])),
+		UID:   binary.BigEndian.Uint64(data[16:]),
+	}
+	if p.Size != len(data) {
+		return nil, fmt.Errorf("packet: declared size %d but %d bytes on wire", p.Size, len(data))
+	}
+	if p.Proto >= protoMax {
+		return nil, fmt.Errorf("packet: unknown protocol %d", p.Proto)
+	}
+	if p.Proto != ProtoNone {
+		hdr, err := decodeHeader(p.Proto, data[CommonWireLen:])
+		if err != nil {
+			return nil, err
+		}
+		p.Header = hdr
+	}
+	return p, nil
+}
+
+func encodeHeader(buf []byte, h Header) error {
+	if len(buf) < h.WireLen() {
+		return errors.New("packet: buffer too small for header")
+	}
+	switch t := h.(type) {
+	case *FLIDHeader:
+		binary.BigEndian.PutUint16(buf[0:], t.Session)
+		buf[2] = t.Group
+		binary.BigEndian.PutUint32(buf[3:], t.Slot)
+		binary.BigEndian.PutUint16(buf[7:], t.Seq)
+		binary.BigEndian.PutUint16(buf[9:], t.Count)
+		buf[11] = t.IncreaseTo
+		buf[12] = b2u8(t.HasDelta)
+		binary.BigEndian.PutUint64(buf[13:], uint64(t.Component))
+		binary.BigEndian.PutUint64(buf[21:], uint64(t.Decrease))
+		binary.BigEndian.PutUint32(buf[29:], t.ShareX)
+		binary.BigEndian.PutUint32(buf[33:], t.ShareY)
+		binary.BigEndian.PutUint32(buf[37:], t.UpShareX)
+		binary.BigEndian.PutUint32(buf[41:], t.UpShareY)
+	case *ReplHeader:
+		binary.BigEndian.PutUint16(buf[0:], t.Session)
+		buf[2] = t.Group
+		binary.BigEndian.PutUint32(buf[3:], t.Slot)
+		binary.BigEndian.PutUint16(buf[7:], t.Seq)
+		binary.BigEndian.PutUint16(buf[9:], t.Count)
+		buf[11] = t.IncreaseTo
+		buf[12] = b2u8(t.HasDelta)
+		binary.BigEndian.PutUint64(buf[13:], uint64(t.Component))
+		binary.BigEndian.PutUint64(buf[21:], uint64(t.Decrease))
+	case *TCPHeader:
+		binary.BigEndian.PutUint32(buf[0:], t.Flow)
+		binary.BigEndian.PutUint32(buf[4:], t.Seq)
+		binary.BigEndian.PutUint32(buf[8:], t.Len)
+		binary.BigEndian.PutUint32(buf[12:], t.Ack)
+		buf[16] = b2u8(t.IsAck)
+	case *CBRHeader:
+		binary.BigEndian.PutUint32(buf[0:], t.Flow)
+		binary.BigEndian.PutUint32(buf[4:], t.Seq)
+	case *SigmaHeader:
+		buf[0] = byte(t.Kind)
+		binary.BigEndian.PutUint32(buf[1:], t.Slot)
+		binary.BigEndian.PutUint32(buf[5:], uint32(t.Minimal))
+		binary.BigEndian.PutUint32(buf[9:], t.AckID)
+		binary.BigEndian.PutUint16(buf[13:], uint16(len(t.Pairs)))
+		off := 15
+		for _, pr := range t.Pairs {
+			binary.BigEndian.PutUint32(buf[off:], uint32(pr.Addr))
+			binary.BigEndian.PutUint64(buf[off+4:], uint64(pr.Key))
+			off += 12
+		}
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(t.Addrs)))
+		off += 2
+		for _, a := range t.Addrs {
+			binary.BigEndian.PutUint32(buf[off:], uint32(a))
+			off += 4
+		}
+	case *KeyAnnounce:
+		binary.BigEndian.PutUint16(buf[0:], t.Session)
+		binary.BigEndian.PutUint32(buf[2:], t.Slot)
+		buf[6] = t.FECIndex
+		buf[7] = t.FECTotal
+		binary.BigEndian.PutUint16(buf[8:], uint16(len(t.Tuples)))
+		off := 10
+		for _, tp := range t.Tuples {
+			binary.BigEndian.PutUint32(buf[off:], uint32(tp.Addr))
+			binary.BigEndian.PutUint64(buf[off+4:], uint64(tp.Top))
+			binary.BigEndian.PutUint64(buf[off+12:], uint64(tp.Dec))
+			binary.BigEndian.PutUint64(buf[off+20:], uint64(tp.Inc))
+			var fl byte
+			if tp.HasDec {
+				fl |= 1
+			}
+			if tp.HasInc {
+				fl |= 2
+			}
+			buf[off+28] = fl
+			off += 29
+		}
+	case *IGMPHeader:
+		buf[0] = byte(t.Op)
+		binary.BigEndian.PutUint32(buf[1:], uint32(t.Group))
+	default:
+		return fmt.Errorf("packet: cannot encode header type %T", h)
+	}
+	return nil
+}
+
+func decodeHeader(proto Proto, buf []byte) (Header, error) {
+	switch proto {
+	case ProtoFLID:
+		var t FLIDHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short FLID header")
+		}
+		t.Session = binary.BigEndian.Uint16(buf[0:])
+		t.Group = buf[2]
+		t.Slot = binary.BigEndian.Uint32(buf[3:])
+		t.Seq = binary.BigEndian.Uint16(buf[7:])
+		t.Count = binary.BigEndian.Uint16(buf[9:])
+		t.IncreaseTo = buf[11]
+		t.HasDelta = buf[12] != 0
+		t.Component = keys.Key(binary.BigEndian.Uint64(buf[13:]))
+		t.Decrease = keys.Key(binary.BigEndian.Uint64(buf[21:]))
+		t.ShareX = binary.BigEndian.Uint32(buf[29:])
+		t.ShareY = binary.BigEndian.Uint32(buf[33:])
+		t.UpShareX = binary.BigEndian.Uint32(buf[37:])
+		t.UpShareY = binary.BigEndian.Uint32(buf[41:])
+		return &t, nil
+	case ProtoRepl:
+		var t ReplHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short repl header")
+		}
+		t.Session = binary.BigEndian.Uint16(buf[0:])
+		t.Group = buf[2]
+		t.Slot = binary.BigEndian.Uint32(buf[3:])
+		t.Seq = binary.BigEndian.Uint16(buf[7:])
+		t.Count = binary.BigEndian.Uint16(buf[9:])
+		t.IncreaseTo = buf[11]
+		t.HasDelta = buf[12] != 0
+		t.Component = keys.Key(binary.BigEndian.Uint64(buf[13:]))
+		t.Decrease = keys.Key(binary.BigEndian.Uint64(buf[21:]))
+		return &t, nil
+	case ProtoTCP:
+		var t TCPHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short TCP header")
+		}
+		t.Flow = binary.BigEndian.Uint32(buf[0:])
+		t.Seq = binary.BigEndian.Uint32(buf[4:])
+		t.Len = binary.BigEndian.Uint32(buf[8:])
+		t.Ack = binary.BigEndian.Uint32(buf[12:])
+		t.IsAck = buf[16] != 0
+		return &t, nil
+	case ProtoCBR:
+		var t CBRHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short CBR header")
+		}
+		t.Flow = binary.BigEndian.Uint32(buf[0:])
+		t.Seq = binary.BigEndian.Uint32(buf[4:])
+		return &t, nil
+	case ProtoSigma:
+		var t SigmaHeader
+		if len(buf) < 15 {
+			return nil, errors.New("packet: short SIGMA header")
+		}
+		t.Kind = SigmaKind(buf[0])
+		t.Slot = binary.BigEndian.Uint32(buf[1:])
+		t.Minimal = Addr(binary.BigEndian.Uint32(buf[5:]))
+		t.AckID = binary.BigEndian.Uint32(buf[9:])
+		nPairs := int(binary.BigEndian.Uint16(buf[13:]))
+		off := 15
+		if len(buf) < off+nPairs*12+2 {
+			return nil, errors.New("packet: truncated SIGMA pairs")
+		}
+		if nPairs > 0 {
+			t.Pairs = make([]AddrKey, nPairs)
+			for i := range t.Pairs {
+				t.Pairs[i].Addr = Addr(binary.BigEndian.Uint32(buf[off:]))
+				t.Pairs[i].Key = keys.Key(binary.BigEndian.Uint64(buf[off+4:]))
+				off += 12
+			}
+		}
+		nAddrs := int(binary.BigEndian.Uint16(buf[off:]))
+		off += 2
+		if len(buf) < off+nAddrs*4 {
+			return nil, errors.New("packet: truncated SIGMA addrs")
+		}
+		if nAddrs > 0 {
+			t.Addrs = make([]Addr, nAddrs)
+			for i := range t.Addrs {
+				t.Addrs[i] = Addr(binary.BigEndian.Uint32(buf[off:]))
+				off += 4
+			}
+		}
+		return &t, nil
+	case ProtoKeyAnnounce:
+		var t KeyAnnounce
+		if len(buf) < 10 {
+			return nil, errors.New("packet: short key-announce header")
+		}
+		t.Session = binary.BigEndian.Uint16(buf[0:])
+		t.Slot = binary.BigEndian.Uint32(buf[2:])
+		t.FECIndex = buf[6]
+		t.FECTotal = buf[7]
+		n := int(binary.BigEndian.Uint16(buf[8:]))
+		if len(buf) < 10+n*29 {
+			return nil, errors.New("packet: truncated key-announce tuples")
+		}
+		off := 10
+		if n > 0 {
+			t.Tuples = make([]KeyTuple, n)
+			for i := range t.Tuples {
+				tp := &t.Tuples[i]
+				tp.Addr = Addr(binary.BigEndian.Uint32(buf[off:]))
+				tp.Top = keys.Key(binary.BigEndian.Uint64(buf[off+4:]))
+				tp.Dec = keys.Key(binary.BigEndian.Uint64(buf[off+12:]))
+				tp.Inc = keys.Key(binary.BigEndian.Uint64(buf[off+20:]))
+				tp.HasDec = buf[off+28]&1 != 0
+				tp.HasInc = buf[off+28]&2 != 0
+				off += 29
+			}
+		}
+		return &t, nil
+	case ProtoIGMP:
+		var t IGMPHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short IGMP header")
+		}
+		t.Op = IGMPOp(buf[0])
+		t.Group = Addr(binary.BigEndian.Uint32(buf[1:]))
+		return &t, nil
+	default:
+		return nil, fmt.Errorf("packet: cannot decode protocol %v", proto)
+	}
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

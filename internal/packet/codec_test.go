@@ -1,0 +1,258 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"deltasigma/internal/keys"
+)
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(data) != p.Size {
+		t.Fatalf("wire length %d != size %d", len(data), p.Size)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return q
+}
+
+func TestRoundTripFLID(t *testing.T) {
+	p := New(Addr(10), Group(MulticastBase, 4), 576, &FLIDHeader{
+		Session: 7, Group: 5, Slot: 1234, Seq: 9, Count: 27, IncreaseTo: 6,
+		HasDelta: true, Component: keys.Key(0xabcd), Decrease: keys.Key(0x1122),
+		ShareX: 3, ShareY: 99, UpShareX: 4, UpShareY: 100,
+	})
+	p.UID = 42
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestRoundTripRepl(t *testing.T) {
+	p := New(Addr(10), Group(MulticastBase, 2), 576, &ReplHeader{
+		Session: 3, Group: 2, Slot: 55, Seq: 1, Count: 14, IncreaseTo: 3,
+		HasDelta: true, Component: keys.Key(0x77), Decrease: keys.Key(0x88),
+	})
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestRoundTripTCP(t *testing.T) {
+	p := New(Addr(1), Addr(2), 576, &TCPHeader{
+		Flow: 8, Seq: 100000, Len: 536, Ack: 0,
+	})
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+	ack := New(Addr(2), Addr(1), 40, &TCPHeader{Flow: 8, Ack: 100536, IsAck: true})
+	q2 := roundTrip(t, ack)
+	if !reflect.DeepEqual(ack, q2) {
+		t.Fatalf("ack round trip mismatch:\n got %+v\nwant %+v", q2, ack)
+	}
+}
+
+func TestRoundTripCBR(t *testing.T) {
+	p := New(Addr(5), Addr(6), 576, &CBRHeader{Flow: 2, Seq: 919})
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestRoundTripSigmaVariants(t *testing.T) {
+	cases := []*SigmaHeader{
+		{Kind: SigmaSessionJoin, Minimal: Group(MulticastBase, 0)},
+		{Kind: SigmaSubscribe, Slot: 12, AckID: 77, Pairs: []AddrKey{
+			{Addr: Group(MulticastBase, 0), Key: keys.Key(0x1111)},
+			{Addr: Group(MulticastBase, 1), Key: keys.Key(0x2222)},
+			{Addr: Group(MulticastBase, 2), Key: keys.Key(0x3333)},
+		}},
+		{Kind: SigmaUnsubscribe, Addrs: []Addr{Group(MulticastBase, 3), Group(MulticastBase, 4)}},
+		{Kind: SigmaAck, Slot: 12, AckID: 77},
+	}
+	for _, h := range cases {
+		p := New(Addr(9), Addr(1), 0, h)
+		q := roundTrip(t, p)
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("%v round trip mismatch:\n got %+v\nwant %+v", h.Kind, q.Header, h)
+		}
+	}
+}
+
+func TestRoundTripKeyAnnounce(t *testing.T) {
+	h := &KeyAnnounce{
+		Session: 2, Slot: 900, FECIndex: 1, FECTotal: 2,
+		Tuples: []KeyTuple{
+			{Addr: Group(MulticastBase, 0), Top: 0xaaaa, Dec: 0xbbbb, HasDec: true},
+			{Addr: Group(MulticastBase, 1), Top: 0xcccc, Dec: 0xdddd, Inc: 0xeeee, HasDec: true, HasInc: true},
+			{Addr: Group(MulticastBase, 2), Top: 0xffff},
+		},
+	}
+	p := New(Addr(9), MulticastBase, 0, h)
+	p.Alert = true
+	q := roundTrip(t, p)
+	if !q.Alert {
+		t.Fatal("alert flag lost")
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q.Header, h)
+	}
+}
+
+func TestRoundTripIGMP(t *testing.T) {
+	for _, op := range []IGMPOp{IGMPJoin, IGMPLeave} {
+		p := New(Addr(3), Addr(1), 0, &IGMPHeader{Op: op, Group: Group(MulticastBase, 7)})
+		q := roundTrip(t, p)
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("IGMP round trip mismatch: %+v vs %+v", q.Header, p.Header)
+		}
+	}
+}
+
+func TestECNFlagSurvives(t *testing.T) {
+	p := New(Addr(1), Addr(2), 100, &CBRHeader{})
+	p.ECN = true
+	q := roundTrip(t, p)
+	if !q.ECN {
+		t.Fatal("ECN flag lost in round trip")
+	}
+}
+
+func TestEncodeRejectsUndersizedPacket(t *testing.T) {
+	h := &FLIDHeader{}
+	p := &Packet{Src: 1, Dst: 2, Proto: ProtoFLID, Size: 10, Header: h}
+	if _, err := Encode(p); err == nil {
+		t.Fatal("Encode should reject size smaller than headers")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := New(Addr(1), Addr(2), 576, &FLIDHeader{Session: 1})
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := data[:10]
+	if _, err := Decode(short); err == nil {
+		t.Fatal("short packet accepted")
+	}
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 0x00
+	if _, err := Decode(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	badVersion := append([]byte(nil), data...)
+	badVersion[1] = 9
+	if _, err := Decode(badVersion); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	badProto := append([]byte(nil), data...)
+	badProto[2] = 250
+	if _, err := Decode(badProto); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+
+	truncated := data[:len(data)-400]
+	if _, err := Decode(truncated); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// Property: FLID headers round-trip for arbitrary field values.
+func TestRoundTripFLIDProperty(t *testing.T) {
+	f := func(sess uint16, grp uint8, slot uint32, seq, count uint16, inc uint8, comp, dec uint64, sx, sy uint32, ecn bool) bool {
+		h := &FLIDHeader{
+			Session: sess, Group: grp, Slot: slot, Seq: seq, Count: count,
+			IncreaseTo: inc, HasDelta: true,
+			Component: keys.Key(comp), Decrease: keys.Key(dec),
+			ShareX: sx, ShareY: sy,
+		}
+		p := New(Addr(1), Group(MulticastBase, int(grp)), 576, h)
+		p.ECN = ecn
+		data, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SIGMA subscribe messages with arbitrary pair lists round-trip.
+func TestRoundTripSigmaProperty(t *testing.T) {
+	f := func(slot, ackID uint32, rawPairs []uint32) bool {
+		if len(rawPairs) > 64 {
+			rawPairs = rawPairs[:64]
+		}
+		pairs := make([]AddrKey, len(rawPairs))
+		for i, r := range rawPairs {
+			pairs[i] = AddrKey{Addr: Group(MulticastBase, i), Key: keys.Key(r)}
+		}
+		h := &SigmaHeader{Kind: SigmaSubscribe, Slot: slot, AckID: ackID}
+		if len(pairs) > 0 {
+			h.Pairs = pairs
+		}
+		p := New(Addr(3), Addr(4), 0, h)
+		data, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeFLID(b *testing.B) {
+	p := New(Addr(1), MulticastBase, 576, &FLIDHeader{
+		Session: 1, Group: 3, Slot: 100, Seq: 5, Count: 20, HasDelta: true,
+		Component: 0xabcd, Decrease: 0x1234,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFLID(b *testing.B) {
+	p := New(Addr(1), MulticastBase, 576, &FLIDHeader{Session: 1, HasDelta: true})
+	data, err := Encode(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package replicated implements a replicated multicast congestion control
+// protocol (destination-set grouping in the style of Cheung & Ammar, the
+// paper's §3.1.2 "Session structure" case) protected by the Figure 5 DELTA
+// instantiation and SIGMA: each group of the session carries the *same*
+// content at a different rate, and a receiver subscribes to exactly one
+// group, switching down on loss and up on authorization.
+package replicated
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/delta"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+)
+
+// Sender transmits every rate group each slot and runs the Figure 5 key
+// generation. Announces go to every group: a replicated receiver sits on
+// only one tree.
+type Sender struct {
+	Sess   *core.Session
+	host   *netsim.Host
+	policy core.UpgradePolicy
+	rng    *sim.RNG
+
+	pacers []core.Pacer
+	dsend  *delta.ReplicatedSender
+	ann    *sigma.Announcer
+
+	running bool
+
+	// PacketsSent counts data packets.
+	PacketsSent uint64
+}
+
+// NewSender builds a protected replicated sender. Group g transmits at the
+// session schedule's cumulative rate of level g (each group is a complete
+// stream).
+func NewSender(host *netsim.Host, sess *core.Session, policy core.UpgradePolicy, rng *sim.RNG, repeat int) *Sender {
+	sess.Rates.Validate()
+	s := &Sender{
+		Sess: sess, host: host, policy: policy, rng: rng,
+		pacers: make([]core.Pacer, sess.Rates.N),
+	}
+	for i := range s.pacers {
+		s.pacers[i].MinOne = true
+	}
+	src := keys.NewSource(keys.DefaultBits, rng.Fork().Uint64)
+	s.dsend = delta.NewReplicatedSender(sess.Rates.N, src)
+	s.ann = sigma.NewAnnouncer(host, sess.ID, sess.BaseAddr, sess.Rates.N, repeat)
+	s.ann.Spacing = sess.SlotDur / 4
+	return s
+}
+
+// Start begins the slot loop.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	sched := s.host.Scheduler()
+	start := s.Sess.Epoch
+	if start < sched.Now() {
+		start = sched.Now()
+	}
+	sched.At(start, func() { s.runSlot(s.Sess.SlotAt(sched.Now())) })
+}
+
+// Stop halts the sender.
+func (s *Sender) Stop() { s.running = false }
+
+func (s *Sender) runSlot(slot uint32) {
+	if !s.running {
+		return
+	}
+	sched := s.host.Scheduler()
+	n := s.Sess.Rates.N
+
+	inc := s.policy.IncreaseTo(slot)
+	if inc > n {
+		inc = n
+	}
+	auth := make([]bool, n)
+	for g := 2; g <= inc; g++ {
+		auth[g-1] = true
+	}
+	counts := make([]int, n)
+	for g := 1; g <= n; g++ {
+		counts[g-1] = s.pacers[g-1].Packets(s.Sess.Rates.Cumulative(g), s.Sess.SlotDur, s.Sess.PacketSize)
+	}
+
+	rs := s.dsend.BeginSlot(slot, auth, counts)
+	s.ann.AnnounceAll(core.AccessSlot(slot), rs.Keys.Tuples(s.Sess.BaseAddr))
+
+	slotStart := s.Sess.SlotStart(slot)
+	for g := 1; g <= n; g++ {
+		cnt := counts[g-1]
+		spacing := s.Sess.SlotDur / sim.Time(cnt)
+		for j := 1; j <= cnt; j++ {
+			comp, dec := rs.Fields(g)
+			hdr := &packet.ReplHeader{
+				Session: s.Sess.ID, Group: uint8(g), Slot: slot,
+				Seq: uint16(j), Count: uint16(cnt), IncreaseTo: uint8(inc),
+				HasDelta: true, Component: comp, Decrease: dec,
+			}
+			at := slotStart + sim.Time(j-1)*spacing + s.rng.Jitter(spacing/2)
+			if at < sched.Now() {
+				at = sched.Now()
+			}
+			pkt := packet.New(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
+			pkt.UID = s.host.Network().NewUID()
+			sched.At(at, func() {
+				s.PacketsSent++
+				s.host.Send(pkt)
+			})
+		}
+	}
+	sched.At(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
+}
+
+// Receiver subscribes to a single rate group and moves between groups per
+// the Figure 5 subscription rules, through SIGMA keys.
+type Receiver struct {
+	Sess   *core.Session
+	host   *netsim.Host
+	client *sigma.Client
+
+	group      int // current group; 0 = none
+	recvs      map[uint32]*delta.ReplicatedReceiver
+	groupAt    map[uint32]int
+	joinedSlot uint32
+	running    bool
+
+	// Meter records delivered session bytes.
+	Meter *stats.Meter
+	// Switches counts group changes.
+	Switches uint64
+	// Rejoins counts keyless re-admissions.
+	Rejoins uint64
+}
+
+// NewReceiver builds a replicated receiver.
+func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Receiver {
+	r := &Receiver{
+		Sess:    sess,
+		host:    host,
+		client:  sigma.NewClient(host, routerAddr),
+		recvs:   make(map[uint32]*delta.ReplicatedReceiver),
+		groupAt: make(map[uint32]int),
+		Meter:   stats.NewMeter(sim.Second),
+	}
+	host.Handle(packet.ProtoRepl, r.onData)
+	return r
+}
+
+// Group reports the current rate group.
+func (r *Receiver) Group() int { return r.group }
+
+// Start joins the session at the slowest group.
+func (r *Receiver) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	cur := r.Sess.SlotAt(r.host.Scheduler().Now())
+	r.group = 1
+	r.groupAt[cur] = 1
+	r.joinedSlot = cur + 1
+	r.client.SessionJoin(r.Sess.BaseAddr)
+	r.scheduleEval(cur)
+}
+
+// Stop leaves the session.
+func (r *Receiver) Stop() {
+	r.running = false
+	r.client.Unsubscribe(r.Sess.Addrs())
+	r.group = 0
+}
+
+func (r *Receiver) scheduleEval(slot uint32) {
+	sched := r.host.Scheduler()
+	at := r.Sess.SlotStart(slot+1) + 8*r.Sess.SlotDur/10
+	if at <= sched.Now() {
+		at = sched.Now() + 1
+	}
+	sched.At(at, func() {
+		if !r.running {
+			return
+		}
+		r.evaluate(slot)
+		r.scheduleEval(slot + 1)
+	})
+}
+
+func (r *Receiver) onData(pkt *packet.Packet) {
+	h, ok := pkt.Header.(*packet.ReplHeader)
+	if !ok || h.Session != r.Sess.ID {
+		return
+	}
+	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
+	dr := r.recvs[h.Slot]
+	if dr == nil {
+		dr = delta.NewReplicatedReceiver(r.Sess.Rates.N)
+		dr.Begin(h.Slot)
+		r.recvs[h.Slot] = dr
+	}
+	g := r.groupDuring(h.Slot)
+	dr.Observe(h, g, pkt.ECN)
+}
+
+// groupDuring returns the group subscribed during a slot.
+func (r *Receiver) groupDuring(slot uint32) int {
+	for s := slot; ; s-- {
+		if g, ok := r.groupAt[s]; ok {
+			return g
+		}
+		if s == 0 || slot-s > 16 {
+			return r.group
+		}
+	}
+}
+
+func (r *Receiver) evaluate(slot uint32) {
+	dr := r.recvs[slot]
+	delete(r.recvs, slot)
+	for s := range r.recvs {
+		if s+4 < slot {
+			delete(r.recvs, s)
+		}
+	}
+	for s := range r.groupAt {
+		if s+8 < slot {
+			delete(r.groupAt, s)
+		}
+	}
+	g := r.groupDuring(slot)
+	if g == 0 {
+		g = 1
+	}
+	if r.joinedSlot > slot || dr == nil {
+		if dr == nil && r.joinedSlot <= slot {
+			r.rejoin(slot)
+			return
+		}
+		// Carry the latest decision, not the group active during the
+		// evaluated slot — mid-switch they differ.
+		r.groupAt[core.AccessSlot(slot)] = r.group
+		return
+	}
+
+	out := dr.Finish(g, false)
+	if out.Next == 0 {
+		r.rejoin(slot)
+		return
+	}
+	pairs := make([]packet.AddrKey, 0, len(out.Keys))
+	for gg, k := range out.Keys {
+		pairs = append(pairs, packet.AddrKey{Addr: r.Sess.GroupAddr(gg), Key: k})
+	}
+	r.client.Subscribe(core.AccessSlot(slot), pairs)
+	if out.Next != g {
+		// Switching groups: abandon the old one right away (a replicated
+		// receiver gains nothing from holding two copies, §3.1.2).
+		r.client.Unsubscribe([]packet.Addr{r.Sess.GroupAddr(g)})
+		r.Switches++
+		r.joinedSlot = slot + 2
+	}
+	r.group = out.Next
+	r.groupAt[core.AccessSlot(slot)] = out.Next
+}
+
+func (r *Receiver) rejoin(slot uint32) {
+	r.Rejoins++
+	r.group = 1
+	r.groupAt[core.AccessSlot(slot)] = 1
+	r.client.SessionJoin(r.Sess.BaseAddr)
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"deltasigma/internal/flid"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/topo"
+)
+
+// attackExperiment is the shared body of Figures 1 and 7: receivers F1 and
+// F2 from different multicast sessions share a 1 Mbps bottleneck with two
+// TCP Reno receivers T1 and T2; after 100 s (scaled), F1 inflates its
+// subscription.
+func attackExperiment(opt Options, mode flid.Mode) *Result {
+	dur := opt.scale(200 * sim.Second)
+	inflateAt := dur / 2
+
+	l := newLab(topo.PaperConfig(1_000_000, opt.Seed), mode)
+
+	// Session 1 carries the attacker F1, session 2 the victim F2.
+	s1 := l.addSessionWithoutReceivers(1)
+	s2 := l.addSessionWithoutReceivers(2)
+	f1Host := l.d.AddReceiver("F1")
+	f2Host := l.d.AddReceiver("F2")
+
+	t1 := l.addTCP(1, 0)
+	t2 := l.addTCP(2, 0)
+
+	l.finish()
+
+	res := &Result{}
+	sched := l.d.Sched
+
+	switch mode {
+	case flid.DL:
+		res.Name, res.Title = "fig1", "Impact of inflated subscription (FLID-DL)"
+		atk := flid.NewAttacker(f1Host, s1.Sess, l.d.Right.Addr())
+		f2 := flid.NewReceiver(f2Host, s2.Sess, l.d.Right.Addr())
+		sched.At(0, func() { s1.Sender.Start(); s2.Sender.Start(); atk.Start(); f2.Start() })
+		sched.At(inflateAt, atk.Inflate)
+		sched.RunUntil(dur)
+		res.Series = []Series{
+			{Label: "F1", Points: atk.Meter.Series(SmoothenWin)},
+			{Label: "F2", Points: f2.Meter.Series(SmoothenWin)},
+		}
+	case flid.DS:
+		res.Name, res.Title = "fig7", "Protection with DELTA and SIGMA (FLID-DS)"
+		atk := flid.NewDSAttacker(f1Host, s1.Sess, l.d.Right.Addr(), l.d.RNG.Fork())
+		f2 := flid.NewDSReceiver(f2Host, s2.Sess, l.d.Right.Addr())
+		sched.At(0, func() { s1.Sender.Start(); s2.Sender.Start(); atk.Start(); f2.Start() })
+		sched.At(inflateAt, atk.Inflate)
+		sched.RunUntil(dur)
+		res.Series = []Series{
+			{Label: "F1", Points: atk.Meter.Series(SmoothenWin)},
+			{Label: "F2", Points: f2.Meter.Series(SmoothenWin)},
+		}
+		res.Notef("attacker submitted %d guessed keys", atk.GuessesSent)
+	}
+	res.Series = append(res.Series,
+		Series{Label: "T1", Points: t1.Series(SmoothenWin)},
+		Series{Label: "T2", Points: t2.Series(SmoothenWin)},
+	)
+	res.Notef("inflation at t=%.0fs; fair share 250 Kbps per session", inflateAt.Sec())
+	return res
+}
+
+// addSessionWithoutReceivers builds a session (sender only); the figure
+// attaches its own receiver flavours.
+func (l *lab) addSessionWithoutReceivers(id uint16) *mcastSession {
+	return l.addSession(id, 0)
+}
+
+// Fig1 reproduces Figure 1: inflated subscription under plain FLID-DL
+// boosts the attacker's throughput at the expense of F2, T1 and T2.
+func Fig1(opt Options) *Result { return attackExperiment(opt, flid.DL) }
+
+// Fig7 reproduces Figure 7: under FLID-DS the same attack changes nothing —
+// DELTA and SIGMA preserve the fair allocation.
+func Fig7(opt Options) *Result { return attackExperiment(opt, flid.DS) }

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deltasigma/internal/cbr"
+	"deltasigma/internal/flid"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/topo"
+)
+
+// responsivenessRun is one curve of Figure 8(e): a single multicast session
+// shares the 1 Mbps bottleneck with an 800 Kbps CBR burst between 45 s and
+// 75 s (scaled).
+func responsivenessRun(opt Options, mode flid.Mode) Series {
+	dur := opt.scale(100 * sim.Second)
+	on := opt.scale(45 * sim.Second)
+	off := opt.scale(75 * sim.Second)
+
+	l := newLab(topo.PaperConfig(1_000_000, opt.Seed), mode)
+	ms := l.addSession(1, 1)
+	csrc := l.d.AddSource("cbrsrc")
+	cdst := l.d.AddReceiver("cbrdst")
+	burst := cbr.New(csrc, cdst.Addr(), 900, 800_000, PacketSize)
+	l.finish()
+
+	l.d.Sched.At(0, func() { ms.Sender.Start(); ms.StartReceiver(0) })
+	l.d.Sched.At(on, burst.Start)
+	l.d.Sched.At(off, burst.Stop)
+	l.d.Sched.RunUntil(dur)
+
+	return Series{Label: mode.String(), Points: ms.Meter(0).Series(SmoothenWin)}
+}
+
+// Fig8e reproduces Figure 8(e): FLID-DS backs off and recovers around the
+// CBR burst just like FLID-DL.
+func Fig8e(opt Options) *Result {
+	dl := responsivenessRun(opt, flid.DL)
+	ds := responsivenessRun(opt, flid.DS)
+	r := &Result{
+		Name:   "fig8e",
+		Title:  "Responsiveness to an 800 Kbps on-off CBR burst",
+		Series: []Series{dl, ds},
+	}
+	r.Notef("CBR burst between t=%.0fs and t=%.0fs", opt.scale(45*sim.Second).Sec(), opt.scale(75*sim.Second).Sec())
+	return r
+}
+
+// rttRun is one curve of Figure 8(f): one session, 20 receivers whose
+// round-trip times spread uniformly over 30..220 ms (bottleneck delay 5 ms),
+// average throughput per receiver.
+func rttRun(opt Options, mode flid.Mode) Curve {
+	dur := opt.scale(200 * sim.Second)
+	warmup := dur / 4
+
+	const nRecv = 20
+	cfg := topo.PaperConfig(FairShare, opt.Seed)
+	cfg.BottleneckDelay = 5 * sim.Millisecond
+	l := newLab(cfg, mode)
+
+	ms := l.addSessionWithoutReceivers(1)
+	rtts := make([]float64, nRecv)
+	for i := 0; i < nRecv; i++ {
+		// RTT_i spreads 30..220 ms: RTT = 2·(10ms + 5ms + access).
+		rttMs := 30.0 + float64(i)*(220.0-30.0)/float64(nRecv-1)
+		rtts[i] = rttMs
+		access := sim.Time((rttMs/2.0 - 15.0) * float64(sim.Millisecond))
+		if access < 0 {
+			access = 0
+		}
+		host := l.d.AddReceiverDelay(fmt.Sprintf("r%02d", i), access)
+		l.attachReceiver(ms, host)
+	}
+	l.finish()
+
+	l.d.Sched.At(0, func() {
+		ms.Sender.Start()
+		for i := 0; i < nRecv; i++ {
+			ms.StartReceiver(i)
+		}
+	})
+	l.d.Sched.RunUntil(dur)
+
+	var c Curve
+	c.Label = fmt.Sprintf("Average %s rates", mode)
+	for i := 0; i < nRecv; i++ {
+		c.Points = append(c.Points, XY{X: rtts[i], Y: ms.Meter(i).AvgKbps(warmup, dur)})
+	}
+	return c
+}
+
+// Fig8f reproduces Figure 8(f): throughput is flat across heterogeneous
+// round-trip times for both FLID-DL and FLID-DS.
+func Fig8f(opt Options) *Result {
+	dl := rttRun(opt, flid.DL)
+	ds := rttRun(opt, flid.DS)
+	return &Result{
+		Name:   "fig8f",
+		Title:  "Heterogeneous round-trip times",
+		Curves: []Curve{dl, ds},
+	}
+}
+
+// convergenceRun is Figure 8(g)/(h): four receivers of one session join at
+// 0, 10, 20 and 30 s (scaled) and converge to the same subscription.
+func convergenceRun(opt Options, mode flid.Mode) *Result {
+	dur := opt.scale(40 * sim.Second)
+	l := newLab(topo.PaperConfig(FairShare, opt.Seed), mode)
+	ms := l.addSession(1, 4)
+	l.finish()
+
+	l.d.Sched.At(0, ms.Sender.Start)
+	for i := 0; i < 4; i++ {
+		i := i
+		l.d.Sched.At(opt.scale(sim.Time(i)*10*sim.Second), func() { ms.StartReceiver(i) })
+	}
+	l.d.Sched.RunUntil(dur)
+
+	name, title := "fig8g", "Subscription convergence in FLID-DL"
+	if mode == flid.DS {
+		name, title = "fig8h", "Subscription convergence in FLID-DS"
+	}
+	res := &Result{Name: name, Title: title}
+	for i := 0; i < 4; i++ {
+		res.Series = append(res.Series, Series{
+			Label:  fmt.Sprintf("Receiver %d", i+1),
+			Points: ms.Meter(i).Series(3),
+		})
+	}
+	lv := make([]int, 4)
+	for i := range lv {
+		if mode == flid.DS {
+			lv[i] = ms.RecvDS[i].Level()
+		} else {
+			lv[i] = ms.RecvDL[i].Level()
+		}
+	}
+	res.Notef("final levels: %v", lv)
+	return res
+}
+
+// Fig8g reproduces Figure 8(g): convergence under FLID-DL.
+func Fig8g(opt Options) *Result { return convergenceRun(opt, flid.DL) }
+
+// Fig8h reproduces Figure 8(h): convergence under FLID-DS.
+func Fig8h(opt Options) *Result { return convergenceRun(opt, flid.DS) }

@@ -1,0 +1,225 @@
+// Package scenario reproduces every experiment in the paper's evaluation
+// (§5): one function per figure, each returning labelled data series so
+// that cmd/figures can regenerate the plots, bench_test.go can time them,
+// and the integration tests can assert their shape.
+//
+// All experiments use the §5.1 settings unless a figure overrides them:
+// single-bottleneck topology, 250 Kbps fair share per session, 20 ms
+// bottleneck delay, 10 ms / 10 Mbps side links, buffers of two
+// bandwidth-delay products, 10 groups starting at 100 Kbps growing ×1.5,
+// 576-byte data packets, 500 ms FLID-DL slots and 250 ms FLID-DS slots.
+package scenario
+
+import (
+	"fmt"
+
+	"deltasigma/internal/core"
+	"deltasigma/internal/flid"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+	"deltasigma/internal/tcp"
+	"deltasigma/internal/topo"
+)
+
+// Paper parameters (§5.1).
+const (
+	FairShare   = 250_000 // bits/s per session
+	PacketSize  = 576     // bytes, all data traffic
+	SlotDL      = 500 * sim.Millisecond
+	SlotDS      = 250 * sim.Millisecond
+	SmoothenWin = 5 // seconds of moving average for time-series figures
+)
+
+// Options scales experiments: tests run shortened versions.
+type Options struct {
+	// Scale multiplies experiment durations (1 = paper-length). Values in
+	// (0,1] shorten runs proportionally.
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultOptions runs experiments at paper length.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 2003} }
+
+func (o Options) scale(t sim.Time) sim.Time {
+	if o.Scale <= 0 || o.Scale == 1 {
+		return t
+	}
+	return sim.Time(float64(t) * o.Scale)
+}
+
+// Series is one curve of a time-series figure.
+type Series struct {
+	Label  string
+	Points []stats.Point
+}
+
+// XY is one point of a parameter-sweep curve.
+type XY struct {
+	X, Y float64
+}
+
+// Curve is one curve of a parameter-sweep figure.
+type Curve struct {
+	Label  string
+	Points []XY
+}
+
+// Result is everything a figure produced.
+type Result struct {
+	Name   string
+	Title  string
+	Series []Series
+	Curves []Curve
+	Notes  []string
+}
+
+// Notef appends a formatted note to the result.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// SeriesAvg averages a series' points over [from, to] seconds.
+func SeriesAvg(s Series, from, to float64) float64 {
+	var sum float64
+	n := 0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			sum += p.Kbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// sessionSpacing keeps each session's group block apart in address space.
+const sessionSpacing = 32
+
+// newSession builds a paper-standard session descriptor.
+func newSession(id uint16, slot sim.Time) *core.Session {
+	return &core.Session{
+		ID:         id,
+		BaseAddr:   packet.MulticastBase + packet.Addr(int(id)*sessionSpacing),
+		Rates:      core.PaperSchedule(),
+		SlotDur:    slot,
+		PacketSize: PacketSize,
+	}
+}
+
+// slotFor returns the paper's slot duration for a mode: 500 ms for FLID-DL
+// and 250 ms for FLID-DS, preserving the 500 ms control granularity through
+// SIGMA's two-slot enforcement (§5.1).
+func slotFor(mode flid.Mode) sim.Time {
+	if mode == flid.DS {
+		return SlotDS
+	}
+	return SlotDL
+}
+
+// mcastSession wires one complete multicast session onto a dumbbell.
+type mcastSession struct {
+	Sess   *core.Session
+	Sender *flid.Sender
+	// DL receivers and DS receivers (one of the two is populated).
+	RecvDL []*flid.Receiver
+	RecvDS []*flid.DSReceiver
+}
+
+// Meter returns the throughput meter of receiver i.
+func (m *mcastSession) Meter(i int) *stats.Meter {
+	if len(m.RecvDL) > 0 {
+		return m.RecvDL[i].Meter
+	}
+	return m.RecvDS[i].Meter
+}
+
+// StartReceiver starts receiver i.
+func (m *mcastSession) StartReceiver(i int) {
+	if len(m.RecvDL) > 0 {
+		m.RecvDL[i].Start()
+	} else {
+		m.RecvDS[i].Start()
+	}
+}
+
+// lab assembles an experiment: dumbbell + gatekeeper + sessions + cross
+// traffic, with uniform wiring so every figure shares the same setup code.
+type lab struct {
+	d    *topo.Dumbbell
+	mode flid.Mode
+	ctl  *sigma.Controller
+	igmp *mcast.IGMP
+
+	sessions []*mcastSession
+	tcpRecv  []*tcp.Receiver
+	tcpMeter []*stats.Meter
+}
+
+// newLab builds the dumbbell and installs the right gatekeeper for mode.
+func newLab(cfg topo.Config, mode flid.Mode) *lab {
+	l := &lab{d: topo.New(cfg), mode: mode}
+	return l
+}
+
+// finish completes wiring after all hosts exist; must be called once.
+func (l *lab) finish() {
+	l.d.Done()
+	if l.mode == flid.DS {
+		l.ctl = sigma.NewController(l.d.Right, sigma.DefaultConfig(SlotDS))
+	} else {
+		l.igmp = mcast.NewIGMP(l.d.Right)
+	}
+}
+
+// addSession creates session id with nRecv receivers (with default access
+// delay); receivers are built but not started.
+func (l *lab) addSession(id uint16, nRecv int) *mcastSession {
+	slot := slotFor(l.mode)
+	sess := newSession(id, slot)
+	src := l.d.AddSource(fmt.Sprintf("src%d", id))
+	for _, a := range sess.Addrs() {
+		l.d.Fabric.SetSource(a, src.ID())
+	}
+	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
+	ms := &mcastSession{Sess: sess}
+	ms.Sender = flid.NewSender(src, sess, l.mode, policy, l.d.RNG.Fork(), nil, 2)
+	for i := 0; i < nRecv; i++ {
+		host := l.d.AddReceiver(fmt.Sprintf("r%d_%d", id, i))
+		l.attachReceiver(ms, host)
+	}
+	l.sessions = append(l.sessions, ms)
+	return ms
+}
+
+// attachReceiver builds a receiver of the right mode on host.
+func (l *lab) attachReceiver(ms *mcastSession, host *netsim.Host) {
+	if l.mode == flid.DS {
+		ms.RecvDS = append(ms.RecvDS, flid.NewDSReceiver(host, ms.Sess, l.d.Right.Addr()))
+	} else {
+		ms.RecvDL = append(ms.RecvDL, flid.NewReceiver(host, ms.Sess, l.d.Right.Addr()))
+	}
+}
+
+// addTCP creates one TCP Reno connection crossing the bottleneck and
+// returns its throughput meter; the sender starts at `at`.
+func (l *lab) addTCP(flow uint32, at sim.Time) *stats.Meter {
+	src := l.d.AddSource(fmt.Sprintf("tsrc%d", flow))
+	dst := l.d.AddReceiver(fmt.Sprintf("tdst%d", flow))
+	cfg := tcp.DefaultConfig()
+	recv := tcp.NewReceiver(dst, flow, cfg)
+	meter := stats.NewMeter(sim.Second)
+	recv.OnDeliver = func(bytes int) { meter.Add(l.d.Sched.Now(), bytes) }
+	snd := tcp.NewSender(src, dst.Addr(), flow, cfg)
+	l.d.Sched.At(at, snd.Start)
+	l.tcpRecv = append(l.tcpRecv, recv)
+	l.tcpMeter = append(l.tcpMeter, meter)
+	return meter
+}

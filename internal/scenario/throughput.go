@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"deltasigma/internal/cbr"
+	"deltasigma/internal/flid"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+	"deltasigma/internal/topo"
+)
+
+// sessionCounts is the paper's x-axis for Figure 8(a)-(d).
+var sessionCounts = []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+
+// sweepCounts thins the sweep for scaled-down runs.
+func sweepCounts(opt Options) []int {
+	if opt.Scale >= 1 {
+		return sessionCounts
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// throughputRun measures every multicast receiver's average throughput with
+// M sessions of the given mode, optionally with M TCP sessions and an
+// on-off CBR session as cross traffic (Figure 8a/b/d body).
+func throughputRun(opt Options, mode flid.Mode, m int, cross bool) (indiv []float64, avg float64) {
+	dur := opt.scale(200 * sim.Second)
+	warmup := dur / 10
+
+	// Fair share of 250 Kbps per session fixes the capacity.
+	nSessions := int64(m)
+	if cross {
+		nSessions = int64(2 * m)
+	}
+	capacity := FairShare * nSessions
+	l := newLab(topo.PaperConfig(capacity, opt.Seed+uint64(m)*17), mode)
+
+	for i := 0; i < m; i++ {
+		l.addSession(uint16(i+1), 1)
+	}
+	if cross {
+		for i := 0; i < m; i++ {
+			l.addTCP(uint32(i+1), sim.Time(i)*100*sim.Millisecond)
+		}
+		// The on-off CBR session transmits at 10% of the bottleneck
+		// capacity with 5-second on and off periods (§5.3).
+		csrc := l.d.AddSource("cbrsrc")
+		cdst := l.d.AddReceiver("cbrdst")
+		c := cbr.New(csrc, cdst.Addr(), 900, capacity/10, PacketSize)
+		c.OnPeriod = 5 * sim.Second
+		c.OffPeriod = 5 * sim.Second
+		l.d.Sched.At(0, c.Start)
+	}
+	l.finish()
+
+	for _, ms := range l.sessions {
+		ms := ms
+		l.d.Sched.At(0, func() { ms.Sender.Start(); ms.StartReceiver(0) })
+	}
+	l.d.Sched.RunUntil(dur)
+
+	for _, ms := range l.sessions {
+		indiv = append(indiv, ms.Meter(0).AvgKbps(warmup, dur))
+	}
+	return indiv, stats.Mean(indiv)
+}
+
+// throughputSweep runs throughputRun across the session counts.
+func throughputSweep(opt Options, mode flid.Mode, cross bool) (indiv Curve, avg Curve) {
+	for _, m := range sweepCounts(opt) {
+		rates, mean := throughputRun(opt, mode, m, cross)
+		for _, r := range rates {
+			indiv.Points = append(indiv.Points, XY{X: float64(m), Y: r})
+		}
+		avg.Points = append(avg.Points, XY{X: float64(m), Y: mean})
+	}
+	return indiv, avg
+}
+
+// Fig8a reproduces Figure 8(a): FLID-DL individual and average receiver
+// throughput versus the number of multicast sessions, no cross traffic.
+func Fig8a(opt Options) *Result {
+	indiv, avg := throughputSweep(opt, flid.DL, false)
+	indiv.Label, avg.Label = "Individual rates", "Average rate"
+	return &Result{
+		Name:   "fig8a",
+		Title:  "Throughput for FLID-DL without cross traffic",
+		Curves: []Curve{indiv, avg},
+	}
+}
+
+// Fig8b reproduces Figure 8(b): the same for FLID-DS.
+func Fig8b(opt Options) *Result {
+	indiv, avg := throughputSweep(opt, flid.DS, false)
+	indiv.Label, avg.Label = "Individual rates", "Average rate"
+	return &Result{
+		Name:   "fig8b",
+		Title:  "Throughput for FLID-DS without cross traffic",
+		Curves: []Curve{indiv, avg},
+	}
+}
+
+// Fig8c reproduces Figure 8(c): FLID-DL and FLID-DS average throughput
+// without cross traffic coincide.
+func Fig8c(opt Options) *Result {
+	_, dl := throughputSweep(opt, flid.DL, false)
+	_, ds := throughputSweep(opt, flid.DS, false)
+	dl.Label, ds.Label = "FLID-DL average rate", "FLID-DS average rate"
+	return &Result{
+		Name:   "fig8c",
+		Title:  "Average throughput without cross traffic",
+		Curves: []Curve{dl, ds},
+	}
+}
+
+// Fig8d reproduces Figure 8(d): averages with TCP and on-off CBR cross
+// traffic remain comparable between FLID-DL and FLID-DS.
+func Fig8d(opt Options) *Result {
+	_, dl := throughputSweep(opt, flid.DL, true)
+	_, ds := throughputSweep(opt, flid.DS, true)
+	dl.Label, ds.Label = "FLID-DL average rate", "FLID-DS average rate"
+	r := &Result{
+		Name:   "fig8d",
+		Title:  "Average throughput with cross traffic",
+		Curves: []Curve{dl, ds},
+	}
+	r.Notef("cross traffic: one TCP per multicast session plus on-off CBR at 10%% capacity, 5 s periods")
+	return r
+}

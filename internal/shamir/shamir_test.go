@@ -1,0 +1,217 @@
+package shamir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deltasigma/internal/sim"
+)
+
+func testSplitter() *Splitter {
+	return NewSplitter(sim.NewRNG(1234).Uint64)
+}
+
+func TestRoundTripExactThreshold(t *testing.T) {
+	s := testSplitter()
+	for _, k := range []int{1, 2, 3, 5, 10} {
+		secret := uint64(0xbeef) + uint64(k)
+		poly, err := s.Sample(secret, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := make([]Share, k)
+		for i := range shares {
+			shares[i] = poly.ShareAt(uint32(i + 1))
+		}
+		got, err := Reconstruct(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("k=%d: reconstructed %#x, want %#x", k, got, secret)
+		}
+	}
+}
+
+func TestRoundTripAnySubsetOfShares(t *testing.T) {
+	s := testSplitter()
+	const k, n = 4, 12
+	secret := uint64(0x1a2b)
+	poly, err := s.Sample(secret, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]Share, n)
+	for i := range all {
+		all[i] = poly.ShareAt(uint32(i + 1))
+	}
+	// Every sliding window of k shares reconstructs.
+	for start := 0; start+k <= n; start++ {
+		got, err := Reconstruct(all[start : start+k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("window at %d: got %#x, want %#x", start, got, secret)
+		}
+	}
+	// More than k shares also reconstruct (over-determined but consistent).
+	got, err := Reconstruct(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Fatalf("all shares: got %#x, want %#x", got, secret)
+	}
+}
+
+func TestFewerThanThresholdHidesSecret(t *testing.T) {
+	s := testSplitter()
+	const k = 5
+	secret := uint64(0x7777)
+	misses := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		poly, err := s.Sample(secret, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := make([]Share, k-1)
+		for i := range shares {
+			shares[i] = poly.ShareAt(uint32(i + 1))
+		}
+		got, err := Reconstruct(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			misses++
+		}
+	}
+	// With k−1 shares the interpolated value is a uniform field element;
+	// hitting the secret has probability ~2^-31 per trial.
+	if misses < trials-1 {
+		t.Fatalf("secret leaked with k-1 shares in %d/%d trials", trials-misses, trials)
+	}
+}
+
+func TestReconstructRejectsDuplicates(t *testing.T) {
+	s := testSplitter()
+	poly, _ := s.Sample(42, 2)
+	sh := poly.ShareAt(3)
+	if _, err := Reconstruct([]Share{sh, sh}); err == nil {
+		t.Fatal("duplicate shares should be rejected")
+	}
+}
+
+func TestReconstructRejectsEmpty(t *testing.T) {
+	if _, err := Reconstruct(nil); err == nil {
+		t.Fatal("empty share list should be rejected")
+	}
+}
+
+func TestReconstructRejectsXZero(t *testing.T) {
+	if _, err := Reconstruct([]Share{{X: 0, Y: 1}}); err == nil {
+		t.Fatal("share at x=0 should be rejected")
+	}
+}
+
+func TestShareAtZeroPanics(t *testing.T) {
+	s := testSplitter()
+	poly, _ := s.Sample(42, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShareAt(0) should panic")
+		}
+	}()
+	poly.ShareAt(0)
+}
+
+func TestSampleRejectsBadThreshold(t *testing.T) {
+	s := testSplitter()
+	if _, err := s.Sample(1, 0); err == nil {
+		t.Fatal("k=0 should be rejected")
+	}
+	if _, err := s.Sample(1, -3); err == nil {
+		t.Fatal("k<0 should be rejected")
+	}
+}
+
+func TestThresholdOneIsConstant(t *testing.T) {
+	s := testSplitter()
+	poly, _ := s.Sample(99, 1)
+	for x := uint32(1); x < 10; x++ {
+		if poly.ShareAt(x).Y != 99 {
+			t.Fatal("k=1 polynomial should be the constant secret")
+		}
+	}
+}
+
+func TestSecretReducedModPrime(t *testing.T) {
+	s := testSplitter()
+	poly, _ := s.Sample(Prime+5, 3)
+	shares := []Share{poly.ShareAt(1), poly.ShareAt(2), poly.ShareAt(3)}
+	got, err := Reconstruct(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("got %d, want secret mod Prime = 5", got)
+	}
+}
+
+// Property: split/reconstruct round-trips for arbitrary secrets, thresholds,
+// and share positions.
+func TestRoundTripProperty(t *testing.T) {
+	s := testSplitter()
+	f := func(secretRaw uint64, kRaw uint8, offset uint16) bool {
+		k := int(kRaw%8) + 1
+		secret := secretRaw % Prime
+		poly, err := s.Sample(secret, k)
+		if err != nil {
+			return false
+		}
+		shares := make([]Share, k)
+		for i := range shares {
+			shares[i] = poly.ShareAt(uint32(offset) + uint32(i) + 1)
+		}
+		got, err := Reconstruct(shares)
+		return err == nil && got == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for _, a := range []uint64{1, 2, 3, 65537, Prime - 1} {
+		inv := modInverse(a)
+		if a*inv%Prime != 1 {
+			t.Fatalf("inverse of %d wrong: %d", a, inv)
+		}
+	}
+}
+
+func BenchmarkShareAt(b *testing.B) {
+	s := testSplitter()
+	poly, _ := s.Sample(0xabcd, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = poly.ShareAt(uint32(i%1000) + 1)
+	}
+}
+
+func BenchmarkReconstructK8(b *testing.B) {
+	s := testSplitter()
+	poly, _ := s.Sample(0xabcd, 8)
+	shares := make([]Share, 8)
+	for i := range shares {
+		shares[i] = poly.ShareAt(uint32(i + 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

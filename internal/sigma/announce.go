@@ -1,0 +1,89 @@
+package sigma
+
+import (
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Announcer is the sender-side half of SIGMA's key distribution to edge
+// routers (§3.2.1): once per time slot it multicasts the address-key tuples
+// for a future slot inside router-alert ("special") packets that edge
+// routers intercept and never deliver to hosts. Reliability comes from
+// forward error correction; the default is a repetition code with expansion
+// factor z = Repeat, which overcomes the paper's 50% loss target in
+// expectation with z = 2 (duplicates are deduplicated at the edge by
+// (session, slot, block) identity).
+//
+// Tuples travel on the session's minimal group: every legitimate
+// subscription level of a cumulative layered session contains it, so every
+// edge router with subscribers sits on its tree. Replicated sessions
+// announce on every group instead (AnnounceAll).
+type Announcer struct {
+	host    *netsim.Host
+	session uint16
+	base    packet.Addr
+	groups  int
+	// Repeat is the FEC expansion factor z.
+	Repeat int
+	// Spacing staggers the coded copies in time so a full bottleneck queue
+	// cannot drop the whole slot's key material in one burst (interleaving,
+	// the standard companion of FEC). Zero sends copies back-to-back.
+	Spacing sim.Time
+
+	// Stats consumed by the §5.4 overhead accounting.
+	PacketsSent uint64
+	BytesSent   uint64
+	HeaderBytes uint64 // common header + fixed KeyAnnounce preamble bytes
+	TupleBytes  uint64
+	SlotsDone   uint64
+}
+
+// NewAnnouncer builds an announcer for a session of n groups based at base,
+// originating from host.
+func NewAnnouncer(host *netsim.Host, session uint16, base packet.Addr, n, repeat int) *Announcer {
+	if repeat < 1 {
+		repeat = 1
+	}
+	return &Announcer{host: host, session: session, base: base, groups: n, Repeat: repeat}
+}
+
+// Announce multicasts the slot's tuples on the minimal group.
+func (a *Announcer) Announce(slot uint32, tuples []packet.KeyTuple) {
+	a.announceOn(a.base, slot, tuples)
+	a.SlotsDone++
+}
+
+// AnnounceAll multicasts the slot's tuples on every group of the session,
+// reaching edge routers of replicated sessions whose receivers subscribe to
+// a single arbitrary group.
+func (a *Announcer) AnnounceAll(slot uint32, tuples []packet.KeyTuple) {
+	for g := 0; g < a.groups; g++ {
+		a.announceOn(packet.Group(a.base, g), slot, tuples)
+	}
+	a.SlotsDone++
+}
+
+func (a *Announcer) announceOn(group packet.Addr, slot uint32, tuples []packet.KeyTuple) {
+	for i := 0; i < a.Repeat; i++ {
+		hdr := &packet.KeyAnnounce{
+			Session:  a.session,
+			Slot:     slot,
+			FECIndex: uint8(i),
+			FECTotal: uint8(a.Repeat),
+			Tuples:   tuples,
+		}
+		pkt := packet.New(a.host.Addr(), group, 0, hdr)
+		pkt.Alert = true
+		pkt.UID = a.host.Network().NewUID()
+		a.PacketsSent++
+		a.BytesSent += uint64(pkt.Size)
+		a.HeaderBytes += uint64(packet.CommonWireLen + hdr.WireLen() - len(tuples)*29)
+		a.TupleBytes += uint64(len(tuples) * 29)
+		if a.Spacing > 0 && i > 0 {
+			a.host.Scheduler().After(sim.Time(i)*a.Spacing, func() { a.host.Send(pkt) })
+		} else {
+			a.host.Send(pkt)
+		}
+	}
+}

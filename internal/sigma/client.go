@@ -1,0 +1,111 @@
+package sigma
+
+import (
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Client is the receiver-side SIGMA stub: it emits the Figure 6 messages to
+// the local edge router and retransmits subscription messages until they
+// are acknowledged (§3.2.2, "reliable subscription").
+type Client struct {
+	host   *netsim.Host
+	router packet.Addr
+	sched  *sim.Scheduler
+
+	// RTO is the acknowledgment timeout before a subscription message is
+	// retransmitted.
+	RTO sim.Time
+	// MaxTries bounds transmissions per subscription message.
+	MaxTries int
+
+	nextID  uint32
+	pending map[uint32]*pendingSub
+
+	// Retransmits counts subscription retransmissions.
+	Retransmits uint64
+	// AcksReceived counts acknowledgments.
+	AcksReceived uint64
+}
+
+type pendingSub struct {
+	pkt   *packet.Packet
+	timer *sim.Timer
+	tries int
+}
+
+// NewClient builds a SIGMA client on host talking to the edge router at
+// routerAddr, and registers itself for SIGMA acknowledgments.
+func NewClient(host *netsim.Host, routerAddr packet.Addr) *Client {
+	c := &Client{
+		host:     host,
+		router:   routerAddr,
+		sched:    host.Scheduler(),
+		RTO:      60 * sim.Millisecond,
+		MaxTries: 5,
+		pending:  make(map[uint32]*pendingSub),
+	}
+	host.Handle(packet.ProtoSigma, c.onSigma)
+	return c
+}
+
+func (c *Client) onSigma(pkt *packet.Packet) {
+	hdr, ok := pkt.Header.(*packet.SigmaHeader)
+	if !ok || hdr.Kind != packet.SigmaAck {
+		return
+	}
+	if p := c.pending[hdr.AckID]; p != nil {
+		p.timer.Stop()
+		delete(c.pending, hdr.AckID)
+		c.AcksReceived++
+	}
+}
+
+func (c *Client) send(hdr *packet.SigmaHeader) *packet.Packet {
+	pkt := packet.New(c.host.Addr(), c.router, 0, hdr)
+	pkt.UID = c.host.Network().NewUID()
+	c.host.Send(pkt)
+	return pkt
+}
+
+// SessionJoin asks for keyless admission into the session via its minimal
+// group (Figure 6a).
+func (c *Client) SessionJoin(minimal packet.Addr) {
+	c.send(&packet.SigmaHeader{Kind: packet.SigmaSessionJoin, Minimal: minimal})
+}
+
+// Subscribe submits address-key pairs for a time slot (Figure 6b) and
+// retransmits until acknowledged. It returns the message's ack identifier.
+func (c *Client) Subscribe(slot uint32, pairs []packet.AddrKey) uint32 {
+	c.nextID++
+	id := c.nextID
+	hdr := &packet.SigmaHeader{Kind: packet.SigmaSubscribe, Slot: slot, AckID: id, Pairs: pairs}
+	pkt := c.send(hdr)
+	p := &pendingSub{pkt: pkt, tries: 1}
+	c.pending[id] = p
+	c.armRetransmit(id, p)
+	return id
+}
+
+func (c *Client) armRetransmit(id uint32, p *pendingSub) {
+	p.timer = c.sched.After(c.RTO, func() {
+		if p.tries >= c.MaxTries {
+			delete(c.pending, id)
+			return
+		}
+		p.tries++
+		c.Retransmits++
+		c.host.Send(p.pkt.Clone())
+		c.armRetransmit(id, p)
+	})
+}
+
+// Unsubscribe abandons groups immediately (Figure 6c); it is fire-and-
+// forget, since dynamic keys expire access anyway.
+func (c *Client) Unsubscribe(addrs []packet.Addr) {
+	c.send(&packet.SigmaHeader{Kind: packet.SigmaUnsubscribe, Addrs: addrs})
+}
+
+// Pending reports in-flight unacknowledged subscription messages.
+func (c *Client) Pending() int { return len(c.pending) }

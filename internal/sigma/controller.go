@@ -1,0 +1,426 @@
+// Package sigma implements SIGMA (Secure Internet Group Management
+// Architecture), the paper's generic key-based group access control at edge
+// routers (§3.2). The Controller is the edge-router side: it intercepts the
+// sender's special key-announce packets, validates the keys receivers
+// submit in subscription messages, and gates local-interface forwarding —
+// all without knowing anything about the congestion control protocol whose
+// keys it checks (Requirement 3). The Announcer is the sender side that
+// distributes address-key tuples to edge routers, and the Client is the
+// receiver-side stub speaking the Figure 6 messages.
+package sigma
+
+import (
+	"deltasigma/internal/keys"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Config carries SIGMA's deployment parameters. Slot timing is part of
+// SIGMA itself — the time slot is the atomic unit of access control
+// (Figure 2) — and is assumed synchronized between sender and edge routers,
+// the same assumption slotted protocols like FLID-DL already make.
+type Config struct {
+	// SlotDuration is the access-control time slot length.
+	SlotDuration sim.Time
+	// Epoch is the virtual time slot 0 begins.
+	Epoch sim.Time
+	// GraceSlots is how many complete slots of unconditional forwarding a
+	// newly granted or newly joined group gets (the paper fixes 2).
+	GraceSlots int
+	// PenaltySlots is the minimum forwarding stop after a keyless
+	// session-join grace expires (the paper fixes "at least one").
+	PenaltySlots int
+}
+
+// DefaultConfig returns the paper's parameters for a given slot duration.
+func DefaultConfig(slot sim.Time) Config {
+	return Config{SlotDuration: slot, GraceSlots: 2, PenaltySlots: 1}
+}
+
+// storedKeys is one group's key tuple for one slot, as learned from a
+// KeyAnnounce.
+type storedKeys struct {
+	top, dec, inc  keys.Key
+	hasDec, hasInc bool
+}
+
+func (s storedKeys) matches(k keys.Key) bool {
+	return k == s.top || (s.hasDec && k == s.dec) || (s.hasInc && k == s.inc)
+}
+
+// grant is the per-interface, per-group access state.
+type grant struct {
+	slots        map[uint32]bool // slot numbers a valid key was presented for
+	graceUntil   sim.Time        // unconditional forwarding window
+	pendingGrace bool            // start the grace window at first delivery
+	probation    bool            // admitted keyless via session-join
+	penaltyUntil sim.Time        // forwarding stopped until then
+}
+
+// iface is the state of one local interface (one attached receiver host).
+type iface struct {
+	grants map[packet.Addr]*grant
+	// guesses tallies distinct invalid keys per group, the §4.2 guessing-
+	// attack indicator.
+	guesses map[packet.Addr]map[keys.Key]bool
+}
+
+// Controller is the SIGMA gatekeeper installed on an edge router. It
+// implements mcast.Gatekeeper.
+type Controller struct {
+	router *mcast.Router
+	sched  *sim.Scheduler
+	cfg    Config
+
+	store   map[packet.Addr]map[uint32]storedKeys
+	ifaces  map[packet.Addr]*iface
+	grafted map[packet.Addr]bool
+	seen    map[[2]uint64]bool // announce dedup: (session<<32|slot, fecIndex)
+
+	// alter, when non-nil, applies §4.2 interface keying; see keying.go.
+	alter *InterfaceKeying
+	// scrubSrc, when non-nil, scrubs components of CE-marked packets on
+	// local delivery (ECN-driven protocols); see transform.go.
+	scrubSrc *keys.Source
+
+	// Stats.
+	AnnouncesIntercepted uint64
+	SubscribesProcessed  uint64
+	GrantsIssued         uint64
+	InvalidKeys          uint64
+	Acked                uint64
+}
+
+// NewController installs a SIGMA controller as the gatekeeper of router.
+func NewController(router *mcast.Router, cfg Config) *Controller {
+	if cfg.SlotDuration <= 0 {
+		panic("sigma: non-positive slot duration")
+	}
+	if cfg.GraceSlots <= 0 {
+		cfg.GraceSlots = 2
+	}
+	if cfg.PenaltySlots <= 0 {
+		cfg.PenaltySlots = 1
+	}
+	c := &Controller{
+		router:  router,
+		sched:   router.Network().Scheduler(),
+		cfg:     cfg,
+		store:   make(map[packet.Addr]map[uint32]storedKeys),
+		ifaces:  make(map[packet.Addr]*iface),
+		grafted: make(map[packet.Addr]bool),
+		seen:    make(map[[2]uint64]bool),
+	}
+	router.SetGatekeeper(c)
+	c.scheduleTick()
+	return c
+}
+
+// Router returns the edge router this controller guards.
+func (c *Controller) Router() *mcast.Router { return c.router }
+
+// CurrentSlot returns the slot number at the controller's clock.
+func (c *Controller) CurrentSlot() uint32 {
+	now := c.sched.Now()
+	if now < c.cfg.Epoch {
+		return 0
+	}
+	return uint32((now - c.cfg.Epoch) / c.cfg.SlotDuration)
+}
+
+// graceDeadline returns the end of the grace window opening now: the
+// remainder of the current slot plus GraceSlots *complete* time slots
+// (§3.2.2: "forwards them to the interface unconditionally for two complete
+// time slots").
+func (c *Controller) graceDeadline() sim.Time {
+	nextBoundary := c.cfg.Epoch + sim.Time(c.CurrentSlot()+1)*c.cfg.SlotDuration
+	return nextBoundary + sim.Time(c.cfg.GraceSlots)*c.cfg.SlotDuration
+}
+
+func (c *Controller) scheduleTick() {
+	c.sched.After(c.cfg.SlotDuration, func() {
+		c.tick()
+		c.scheduleTick()
+	})
+}
+
+// tick runs once per slot: garbage-collects stale state and prunes groups
+// no local interface is entitled to anymore.
+func (c *Controller) tick() {
+	cur := c.CurrentSlot()
+	now := c.sched.Now()
+
+	// Drop stored keys older than the previous slot.
+	for group, slots := range c.store {
+		for s := range slots {
+			if s+1 < cur {
+				delete(slots, s)
+			}
+		}
+		if len(slots) == 0 {
+			delete(c.store, group)
+		}
+	}
+
+	// Expire grants and decide prunes.
+	inUse := make(map[packet.Addr]bool)
+	for _, ifc := range c.ifaces {
+		for group, g := range ifc.grants {
+			for s := range g.slots {
+				if s < cur {
+					delete(g.slots, s)
+				}
+			}
+			if g.probation && g.graceUntil <= now && g.graceUntil != 0 {
+				// Keyless session-join grace expired: stop forwarding for
+				// at least PenaltySlots (§3.2.2).
+				g.probation = false
+				g.graceUntil = 0
+				g.penaltyUntil = now + sim.Time(c.cfg.PenaltySlots)*c.cfg.SlotDuration
+			}
+			active := g.graceUntil > now || g.pendingGrace || len(g.slots) > 0
+			if active {
+				inUse[group] = true
+			} else if g.penaltyUntil <= now {
+				delete(ifc.grants, group)
+			}
+		}
+		for group := range ifc.guesses {
+			// Guess tallies are the attack indicator; retain them for as
+			// long as the session's keys are live.
+			if _, live := c.store[group]; !live {
+				delete(ifc.guesses, group)
+			}
+		}
+	}
+	for group := range c.grafted {
+		if !inUse[group] {
+			c.router.Prune(group)
+			delete(c.grafted, group)
+		}
+	}
+	if c.alter != nil {
+		c.alter.gc(cur)
+	}
+}
+
+func (c *Controller) ifaceFor(host packet.Addr) *iface {
+	ifc := c.ifaces[host]
+	if ifc == nil {
+		ifc = &iface{
+			grants:  make(map[packet.Addr]*grant),
+			guesses: make(map[packet.Addr]map[keys.Key]bool),
+		}
+		c.ifaces[host] = ifc
+	}
+	return ifc
+}
+
+func (c *Controller) grantFor(ifc *iface, group packet.Addr) *grant {
+	g := ifc.grants[group]
+	if g == nil {
+		g = &grant{slots: make(map[uint32]bool)}
+		ifc.grants[group] = g
+	}
+	return g
+}
+
+func (c *Controller) ensureGraft(group packet.Addr) {
+	if !c.grafted[group] {
+		c.grafted[group] = true
+		c.router.Graft(group)
+	}
+}
+
+// Intercept implements mcast.Gatekeeper: store the address-key tuples from
+// a SIGMA special packet. Repetition-coded duplicates are idempotent.
+func (c *Controller) Intercept(pkt *packet.Packet) {
+	ann, ok := pkt.Header.(*packet.KeyAnnounce)
+	if !ok {
+		return
+	}
+	// Repetition copies carry identical content; one logical announce per
+	// (session, slot) suffices.
+	dedup := [2]uint64{uint64(ann.Session)<<32 | uint64(ann.Slot), 0}
+	if c.seen[dedup] {
+		return
+	}
+	c.seen[dedup] = true
+	c.AnnouncesIntercepted++
+	cur := c.CurrentSlot()
+	if ann.Slot+1 < cur {
+		return // stale
+	}
+	for _, t := range ann.Tuples {
+		slots := c.store[t.Addr]
+		if slots == nil {
+			slots = make(map[uint32]storedKeys)
+			c.store[t.Addr] = slots
+		}
+		slots[ann.Slot] = storedKeys{
+			top: t.Top, dec: t.Dec, inc: t.Inc,
+			hasDec: t.HasDec, hasInc: t.HasInc,
+		}
+	}
+}
+
+// HasKeysFor reports whether the controller holds keys for group at slot
+// (test observability).
+func (c *Controller) HasKeysFor(group packet.Addr, slot uint32) bool {
+	_, ok := c.store[group][slot]
+	return ok
+}
+
+// Control implements mcast.Gatekeeper: dispatch Figure 6 messages.
+func (c *Controller) Control(pkt *packet.Packet, from packet.Addr) {
+	if _, local := c.router.Locals()[from]; !local {
+		return
+	}
+	hdr, ok := pkt.Header.(*packet.SigmaHeader)
+	if !ok {
+		return // plain IGMP join at a SIGMA router confers nothing
+	}
+	switch hdr.Kind {
+	case packet.SigmaSessionJoin:
+		c.sessionJoin(from, hdr)
+	case packet.SigmaSubscribe:
+		c.subscribe(from, hdr)
+	case packet.SigmaUnsubscribe:
+		c.unsubscribe(from, hdr)
+	}
+}
+
+// sessionJoin admits a new receiver keylessly into the minimal group for
+// GraceSlots complete slots (§3.2.2).
+func (c *Controller) sessionJoin(from packet.Addr, hdr *packet.SigmaHeader) {
+	if !hdr.Minimal.IsMulticast() {
+		return
+	}
+	ifc := c.ifaceFor(from)
+	g := c.grantFor(ifc, hdr.Minimal)
+	now := c.sched.Now()
+	if now < g.penaltyUntil {
+		return // abusers wait the penalty out
+	}
+	if g.graceUntil > now || len(g.slots) > 0 {
+		return // already admitted; do not extend
+	}
+	g.probation = true
+	g.pendingGrace = false
+	g.graceUntil = c.graceDeadline()
+	c.ensureGraft(hdr.Minimal)
+}
+
+// subscribe validates each address-key pair against the announced keys for
+// the message's slot and grants matching groups (§3.2.2).
+func (c *Controller) subscribe(from packet.Addr, hdr *packet.SigmaHeader) {
+	c.SubscribesProcessed++
+	ifc := c.ifaceFor(from)
+	cur := c.CurrentSlot()
+	if hdr.Slot >= cur {
+		for _, pair := range hdr.Pairs {
+			stored, ok := c.store[pair.Addr][hdr.Slot]
+			if !ok {
+				continue // keys not announced (yet); receiver retries
+			}
+			key := pair.Key
+			valid := stored.matches(key)
+			if c.alter != nil {
+				valid = c.alter.Validate(from, pair.Addr, hdr.Slot, key, stored)
+			}
+			if !valid {
+				c.InvalidKeys++
+				gm := ifc.guesses[pair.Addr]
+				if gm == nil {
+					gm = make(map[keys.Key]bool)
+					ifc.guesses[pair.Addr] = gm
+				}
+				gm[key] = true
+				continue
+			}
+			g := c.grantFor(ifc, pair.Addr)
+			if c.sched.Now() < g.penaltyUntil {
+				continue
+			}
+			hadAccess := len(g.slots) > 0 || g.graceUntil > c.sched.Now() || g.pendingGrace
+			g.slots[hdr.Slot] = true
+			g.probation = false
+			if !hadAccess {
+				// Newly granted group: once its packets start arriving,
+				// forward unconditionally for GraceSlots complete slots —
+				// the receiver cannot yet hold keys for the first slots it
+				// never observed (§3.2.2 "expecting the group").
+				g.pendingGrace = true
+			}
+			c.GrantsIssued++
+			c.ensureGraft(pair.Addr)
+		}
+	}
+	// Acknowledge the subscription message (reliable subscription).
+	ack := packet.New(c.router.Addr(), from, 0, &packet.SigmaHeader{
+		Kind: packet.SigmaAck, Slot: hdr.Slot, AckID: hdr.AckID,
+	})
+	ack.UID = c.router.Network().NewUID()
+	c.Acked++
+	c.router.SendLocal(ack)
+}
+
+// unsubscribe revokes the sender's own grants; other interfaces subscribed
+// to the same groups are unaffected (§3.2.2).
+func (c *Controller) unsubscribe(from packet.Addr, hdr *packet.SigmaHeader) {
+	ifc := c.ifaceFor(from)
+	for _, addr := range hdr.Addrs {
+		delete(ifc.grants, addr)
+	}
+	// Prune any group nobody is entitled to anymore.
+	for _, addr := range hdr.Addrs {
+		stillUsed := false
+		for _, other := range c.ifaces {
+			if g := other.grants[addr]; g != nil {
+				if g.graceUntil > c.sched.Now() || g.pendingGrace || len(g.slots) > 0 {
+					stillUsed = true
+					break
+				}
+			}
+		}
+		if !stillUsed && c.grafted[addr] {
+			c.router.Prune(addr)
+			delete(c.grafted, addr)
+		}
+	}
+}
+
+// Deliver implements mcast.Gatekeeper: the per-packet forwarding decision.
+func (c *Controller) Deliver(group, host packet.Addr) bool {
+	ifc := c.ifaces[host]
+	if ifc == nil {
+		return false
+	}
+	g := ifc.grants[group]
+	if g == nil {
+		return false
+	}
+	now := c.sched.Now()
+	if now < g.penaltyUntil {
+		return false
+	}
+	if g.pendingGrace {
+		g.pendingGrace = false
+		g.graceUntil = c.graceDeadline()
+	}
+	if now < g.graceUntil {
+		return true
+	}
+	return g.slots[c.CurrentSlot()]
+}
+
+// GuessCount reports how many distinct invalid keys host has submitted for
+// group — the §4.2 guessing-attack tally.
+func (c *Controller) GuessCount(group, host packet.Addr) int {
+	ifc := c.ifaces[host]
+	if ifc == nil {
+		return 0
+	}
+	return len(ifc.guesses[group])
+}

@@ -1,0 +1,43 @@
+package sigma
+
+import (
+	"deltasigma/internal/delta"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/packet"
+)
+
+// EnableECNScrub makes the controller alter the component field of every
+// CE-marked packet it delivers onto a local interface (§3.1.2, "Congestion
+// notification"): receivers of marked packets lose the ability to
+// reconstruct their level's key, turning the mark into a key-denying
+// congestion signal without dropping data.
+func (c *Controller) EnableECNScrub(src *keys.Source) {
+	c.scrubSrc = src
+}
+
+// EnableInterfaceKeying activates the §4.2 collusion hardening for a
+// layered session with n groups based at base. See InterfaceKeying.
+func (c *Controller) EnableInterfaceKeying(base packet.Addr, n int, src *keys.Source) *InterfaceKeying {
+	c.alter = NewInterfaceKeying(base, n, src)
+	return c.alter
+}
+
+// TransformLocal implements mcast.LocalTransformer: apply ECN scrubbing and
+// interface keying to data packets bound for one local interface.
+func (c *Controller) TransformLocal(pkt *packet.Packet, host packet.Addr) *packet.Packet {
+	out := pkt
+	if c.scrubSrc != nil && pkt.ECN {
+		out = out.Clone()
+		out.Header = delta.ScrubComponent(out.Header, c.scrubSrc.Nonce())
+	}
+	if c.alter != nil {
+		if h, ok := out.Header.(*packet.FLIDHeader); ok {
+			altered := c.alter.Alter(host, h)
+			if altered != h {
+				out = out.Clone()
+				out.Header = altered
+			}
+		}
+	}
+	return out
+}

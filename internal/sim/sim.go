@@ -1,0 +1,202 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies every experiment in this repository. It replaces the role
+// NS-2 plays in the paper: a virtual clock, an event scheduler with stable
+// ordering, cancellable timers, and seeded pseudo-randomness.
+//
+// All simulated components (links, queues, protocol endpoints) schedule
+// closures on a single Scheduler. Execution is single-threaded and fully
+// deterministic: two events at the same virtual time fire in the order they
+// were scheduled. Determinism is what makes the integration tests and the
+// figure-regeneration harness reproducible down to the packet.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time: simulated time has
+// no epoch and never relates to the wall clock.
+type Time int64
+
+// Common virtual durations, re-exported for readability at call sites.
+const (
+	Nanosecond  = Time(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a virtual Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Duration converts a time.Duration into a virtual Time span.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Sec reports t as a floating-point number of seconds.
+func (t Time) Sec() float64 { return float64(t) / float64(Second) }
+
+// String renders the timestamp in seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Sec()) }
+
+// event is a scheduled closure. seq breaks ties between events with equal
+// timestamps so ordering is insertion-stable.
+type event struct {
+	at   Time
+	seq  uint64
+	do   func()
+	dead bool // set by Timer.Stop; the event fires as a no-op
+	idx  int  // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the event loop of the simulation. The zero value is not
+// usable; construct with NewScheduler.
+type Scheduler struct {
+	heap    eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far, a cheap progress and
+// load metric used by benchmarks.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued (including stopped timers that
+// have not yet drained).
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// At schedules f to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (s *Scheduler) At(t Time, f func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, do: f}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return &Timer{sched: s, ev: e}
+}
+
+// After schedules f to run d after the current virtual time.
+func (s *Scheduler) After(d Time, f func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, f)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// RunUntil executes events in timestamp order until the queue drains, the
+// clock passes limit, or Stop is called. The clock is left at the timestamp
+// of the last executed event, or at limit when the horizon is reached with
+// events still pending.
+func (s *Scheduler) RunUntil(limit Time) {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.heap[0]
+		if e.at > limit {
+			s.now = limit
+			return
+		}
+		heap.Pop(&s.heap)
+		s.now = e.at
+		if !e.dead {
+			s.fired++
+			e.do()
+		}
+	}
+	if s.now < limit && !s.stopped {
+		s.now = limit
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		e := heap.Pop(&s.heap).(*event)
+		s.now = e.at
+		if !e.dead {
+			s.fired++
+			e.do()
+		}
+	}
+}
+
+// Timer is a handle to a scheduled event, allowing cancellation and
+// rescheduling — the shape TCP retransmission timers need.
+type Timer struct {
+	sched *Scheduler
+	ev    *event
+}
+
+// Stop cancels the timer. It is safe to call on a nil handle, repeatedly,
+// and after the event fired. It reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Active reports whether the event is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// When returns the virtual time the timer is set to fire at. Valid only
+// while Active.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}

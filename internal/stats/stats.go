@@ -1,0 +1,146 @@
+// Package stats provides the measurement machinery behind every figure:
+// time-binned throughput meters, smoothed rate series, interval averages,
+// and the Jain fairness index used to assert fair allocations in tests.
+package stats
+
+import (
+	"math"
+
+	"deltasigma/internal/sim"
+)
+
+// Meter accumulates delivered bytes into fixed-width time bins.
+type Meter struct {
+	bin  sim.Time
+	bins []float64 // bytes per bin
+}
+
+// NewMeter creates a meter with the given bin width (1 s in the figures).
+func NewMeter(bin sim.Time) *Meter {
+	if bin <= 0 {
+		panic("stats: non-positive bin width")
+	}
+	return &Meter{bin: bin}
+}
+
+// Add records bytes delivered at virtual time t.
+func (m *Meter) Add(t sim.Time, bytes int) {
+	if t < 0 {
+		return
+	}
+	idx := int(t / m.bin)
+	for len(m.bins) <= idx {
+		m.bins = append(m.bins, 0)
+	}
+	m.bins[idx] += float64(bytes)
+}
+
+// Bins reports how many bins hold data.
+func (m *Meter) Bins() int { return len(m.bins) }
+
+// RateKbps returns the throughput of one bin in Kbps.
+func (m *Meter) RateKbps(idx int) float64 {
+	if idx < 0 || idx >= len(m.bins) {
+		return 0
+	}
+	return m.bins[idx] * 8 / m.bin.Sec() / 1000
+}
+
+// Point is one sample of a rate series.
+type Point struct {
+	T    float64 // seconds
+	Kbps float64
+}
+
+// Series renders the meter as a rate series smoothed with a centred moving
+// average over `window` bins (the paper's curves are visibly smoothed;
+// window 5 reproduces their look). Window <= 1 disables smoothing.
+func (m *Meter) Series(window int) []Point {
+	out := make([]Point, len(m.bins))
+	for i := range m.bins {
+		lo, hi := i, i
+		if window > 1 {
+			lo = i - window/2
+			hi = i + window/2
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(m.bins) {
+			hi = len(m.bins) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += m.bins[j]
+		}
+		rate := sum / float64(hi-lo+1) * 8 / m.bin.Sec() / 1000
+		out[i] = Point{T: float64(i) * m.bin.Sec(), Kbps: rate}
+	}
+	return out
+}
+
+// AvgKbps averages throughput over [from, to).
+func (m *Meter) AvgKbps(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var bytes float64
+	for i := range m.bins {
+		binStart := sim.Time(i) * m.bin
+		if binStart >= from && binStart < to {
+			bytes += m.bins[i]
+		}
+	}
+	return bytes * 8 / (to - from).Sec() / 1000
+}
+
+// TotalBytes sums all recorded bytes.
+func (m *Meter) TotalBytes() float64 {
+	var s float64
+	for _, b := range m.bins {
+		s += b
+	}
+	return s
+}
+
+// Jain computes the Jain fairness index of the allocations: 1 is perfectly
+// fair, 1/n maximally unfair.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,324 @@
+// Package tcp implements TCP Reno over the simulator: slow start,
+// congestion avoidance, 3-dupack fast retransmit, fast recovery, and an
+// RFC 6298-style retransmission timer. It plays the role NS-2's
+// Agent/TCP/Reno + Agent/TCPSink pair plays in the paper's experiments:
+// well-behaved elastic cross traffic competing with the multicast sessions.
+//
+// Sequence and acknowledgment numbers are segment-granular (as in NS-2's
+// packet-based TCP): Seq is the segment index, Ack the next expected
+// segment. The sender is a greedy (FTP-like) source with unbounded data.
+package tcp
+
+import (
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Config tunes a Reno sender.
+type Config struct {
+	// SegmentSize is the wire size of a data segment in bytes (the paper
+	// uses 576-byte packets for all data traffic).
+	SegmentSize int
+	// AckSize is the wire size of a pure acknowledgment.
+	AckSize int
+	// MaxWindow caps the congestion window in segments (receiver window).
+	MaxWindow float64
+	// InitialRTO is the retransmission timeout before any RTT sample.
+	InitialRTO sim.Time
+	// MinRTO floors the retransmission timeout.
+	MinRTO sim.Time
+}
+
+// DefaultConfig matches the paper's data-packet size.
+func DefaultConfig() Config {
+	return Config{
+		SegmentSize: 576,
+		AckSize:     40,
+		MaxWindow:   128,
+		InitialRTO:  1 * sim.Second,
+		MinRTO:      200 * sim.Millisecond,
+	}
+}
+
+// Sender is one Reno connection endpoint.
+type Sender struct {
+	host *netsim.Host
+	dst  packet.Addr
+	flow uint32
+	cfg  Config
+
+	sndNxt         uint32 // next segment to (re)transmit; rewound to sndUna on RTO
+	sndUna         uint32 // oldest unacknowledged segment
+	maxSent        uint32 // highest segment ever transmitted + 1
+	cwnd           float64
+	ssthresh       float64
+	dupAcks        int
+	inFastRecovery bool
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	timedSeq     uint32
+	timedAt      sim.Time
+	timing       bool
+	backoff      int
+
+	rtoTimer *sim.Timer
+	started  bool
+
+	// Stats.
+	SegmentsSent    uint64
+	Retransmissions uint64
+	Timeouts        uint64
+	FastRecoveries  uint64
+}
+
+// NewSender creates a Reno sender on host targeting the receiver at dst.
+// Each (flow, host-pair) is an independent connection.
+func NewSender(host *netsim.Host, dst packet.Addr, flow uint32, cfg Config) *Sender {
+	s := &Sender{
+		host: host, dst: dst, flow: flow, cfg: cfg,
+		cwnd: 1, ssthresh: cfg.MaxWindow / 2, rto: cfg.InitialRTO,
+	}
+	host.Handle(packet.ProtoTCP, s.onAck)
+	return s
+}
+
+// Start begins transmitting at the scheduler's current time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+}
+
+// Cwnd reports the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// flight is the number of outstanding segments the sender currently
+// accounts against its window. After a timeout the send pointer rewinds to
+// the hole (go-back-N), so flight restarts from zero.
+func (s *Sender) flight() uint32 { return s.sndNxt - s.sndUna }
+
+func (s *Sender) window() float64 {
+	if s.cwnd > s.cfg.MaxWindow {
+		return s.cfg.MaxWindow
+	}
+	return s.cwnd
+}
+
+func (s *Sender) sched() *sim.Scheduler { return s.host.Scheduler() }
+
+// trySend transmits segments from the send pointer while the window allows;
+// after a rewind these are retransmissions of the lost middle of the window.
+func (s *Sender) trySend() {
+	for float64(s.flight()) < s.window() {
+		s.transmit(s.sndNxt)
+		s.sndNxt++
+	}
+}
+
+func (s *Sender) transmit(seq uint32) {
+	hdr := &packet.TCPHeader{Flow: s.flow, Seq: seq, Len: uint32(s.cfg.SegmentSize)}
+	pkt := packet.New(s.host.Addr(), s.dst, s.cfg.SegmentSize, hdr)
+	pkt.UID = s.host.Network().NewUID()
+	s.host.Send(pkt)
+	s.SegmentsSent++
+	if seq < s.maxSent {
+		s.Retransmissions++
+		// Karn's algorithm: never time retransmitted segments.
+		if s.timing && s.timedSeq == seq {
+			s.timing = false
+		}
+	} else {
+		s.maxSent = seq + 1
+		if !s.timing {
+			s.timing = true
+			s.timedSeq = seq
+			s.timedAt = s.sched().Now()
+		}
+	}
+	if s.rtoTimer == nil || !s.rtoTimer.Active() {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	d := s.rto << uint(s.backoff)
+	if max := 60 * sim.Second; d > max {
+		d = max
+	}
+	s.rtoTimer = s.sched().After(d, s.onTimeout)
+}
+
+func (s *Sender) onTimeout() {
+	if s.flight() == 0 {
+		return
+	}
+	s.Timeouts++
+	// Multiplicative decrease, then go-back-N: rewind the send pointer to
+	// the hole and slow-start from there.
+	fl := float64(s.flight())
+	s.ssthresh = maxf(fl/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inFastRecovery = false
+	s.backoff++
+	s.timing = false
+	s.sndNxt = s.sndUna
+	s.trySend()
+	s.armRTO()
+}
+
+func (s *Sender) onAck(pkt *packet.Packet) {
+	hdr, ok := pkt.Header.(*packet.TCPHeader)
+	if !ok || !hdr.IsAck || hdr.Flow != s.flow {
+		return
+	}
+	ack := hdr.Ack
+	switch {
+	case ack > s.sndUna:
+		s.newAck(ack)
+	case ack == s.sndUna && s.flight() > 0:
+		s.dupAck()
+	}
+	s.trySend()
+}
+
+func (s *Sender) newAck(ack uint32) {
+	acked := float64(ack - s.sndUna)
+	s.sndUna = ack
+	if s.sndNxt < ack {
+		// The receiver's buffer covered rewound segments; skip past them.
+		s.sndNxt = ack
+	}
+	s.backoff = 0
+
+	// RTT sample (only for never-retransmitted, timed segments).
+	if s.timing && ack > s.timedSeq {
+		s.sample(s.sched().Now() - s.timedAt)
+		s.timing = false
+	}
+
+	if s.inFastRecovery {
+		// Reno deflates on the first new ACK covering the retransmission.
+		s.inFastRecovery = false
+		s.cwnd = s.ssthresh
+		s.dupAcks = 0
+	} else {
+		s.dupAcks = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += acked // slow start
+		} else {
+			s.cwnd += acked / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > s.cfg.MaxWindow {
+			s.cwnd = s.cfg.MaxWindow
+		}
+	}
+
+	if s.flight() == 0 {
+		if s.rtoTimer != nil {
+			s.rtoTimer.Stop()
+		}
+	} else {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) dupAck() {
+	s.dupAcks++
+	switch {
+	case s.inFastRecovery:
+		s.cwnd++ // window inflation per extra dupack
+	case s.dupAcks == 3:
+		s.FastRecoveries++
+		s.ssthresh = maxf(float64(s.flight())/2, 2)
+		s.transmit(s.sndUna) // fast retransmit
+		s.cwnd = s.ssthresh + 3
+		s.inFastRecovery = true
+		s.armRTO()
+	}
+}
+
+// sample folds an RTT measurement into SRTT/RTTVAR (RFC 6298 §2).
+func (s *Sender) sample(rtt sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Receiver is the TCP sink: it acknowledges every segment cumulatively and
+// counts goodput.
+type Receiver struct {
+	host *netsim.Host
+	flow uint32
+	cfg  Config
+
+	nextExpected uint32
+	outOfOrder   map[uint32]bool
+
+	// GoodputBytes counts in-order payload bytes delivered.
+	GoodputBytes uint64
+	// OnDeliver, when set, observes every in-order segment delivery.
+	OnDeliver func(bytes int)
+}
+
+// NewReceiver creates a sink on host for the given flow.
+func NewReceiver(host *netsim.Host, flow uint32, cfg Config) *Receiver {
+	r := &Receiver{host: host, flow: flow, cfg: cfg, outOfOrder: make(map[uint32]bool)}
+	host.Handle(packet.ProtoTCP, r.onData)
+	return r
+}
+
+func (r *Receiver) onData(pkt *packet.Packet) {
+	hdr, ok := pkt.Header.(*packet.TCPHeader)
+	if !ok || hdr.IsAck || hdr.Flow != r.flow {
+		return
+	}
+	if hdr.Seq == r.nextExpected {
+		r.advance(int(hdr.Len))
+		for r.outOfOrder[r.nextExpected] {
+			delete(r.outOfOrder, r.nextExpected)
+			r.advance(r.cfg.SegmentSize)
+		}
+	} else if hdr.Seq > r.nextExpected {
+		r.outOfOrder[hdr.Seq] = true
+	}
+	ack := &packet.TCPHeader{Flow: r.flow, Ack: r.nextExpected, IsAck: true}
+	ackPkt := packet.New(r.host.Addr(), pkt.Src, r.cfg.AckSize, ack)
+	ackPkt.UID = r.host.Network().NewUID()
+	r.host.Send(ackPkt)
+}
+
+func (r *Receiver) advance(bytes int) {
+	r.nextExpected++
+	r.GoodputBytes += uint64(bytes)
+	if r.OnDeliver != nil {
+		r.OnDeliver(bytes)
+	}
+}

@@ -1,0 +1,148 @@
+// Package topo builds the paper's experimental topology (§5.1): a single
+// bottleneck link in the middle of every session's three-link path.
+// Sources attach to the left router, receivers to the right edge router;
+// the bottleneck carries 20 ms of delay and the experiment's capacity,
+// side links carry 10 ms and 10 Mbps each.
+//
+// The paper sets "buffer space for each link equal to two bandwidth-delay
+// products" without fixing which delay; this builder uses the end-to-end
+// round-trip (80 ms for the default delays) times the link rate, the
+// reading that yields NS-2-like queue depths (≈34 packets of 576 B on a
+// 1 Mbps bottleneck).
+package topo
+
+import (
+	"fmt"
+
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/sim"
+)
+
+// Config parameterizes a dumbbell.
+type Config struct {
+	// BottleneckRate is the middle link's capacity in bits/s.
+	BottleneckRate int64
+	// BottleneckDelay is the middle link's propagation delay (20 ms).
+	BottleneckDelay sim.Time
+	// SideRate is each access link's capacity (10 Mbps).
+	SideRate int64
+	// SideDelay is each access link's propagation delay (10 ms).
+	SideDelay sim.Time
+	// QueueBytes overrides the bottleneck queue size; 0 derives two
+	// bandwidth-RTT products.
+	QueueBytes int
+	// BDPFactor scales the derived queue (2 per §5.1).
+	BDPFactor float64
+	// Seed drives all experiment randomness.
+	Seed uint64
+}
+
+// PaperConfig returns the §5.1 defaults for a given bottleneck capacity.
+func PaperConfig(bottleneck int64, seed uint64) Config {
+	return Config{
+		BottleneckRate:  bottleneck,
+		BottleneckDelay: 20 * sim.Millisecond,
+		SideRate:        10_000_000,
+		SideDelay:       10 * sim.Millisecond,
+		BDPFactor:       2,
+		Seed:            seed,
+	}
+}
+
+// Dumbbell is the assembled topology.
+type Dumbbell struct {
+	Sched  *sim.Scheduler
+	RNG    *sim.RNG
+	Net    *netsim.Network
+	Fabric *mcast.Fabric
+	Left   *mcast.Router
+	Right  *mcast.Router
+	// Forward is the left→right bottleneck link (the congested one).
+	Forward *netsim.Link
+	// Reverse is the right→left bottleneck link (ACK path).
+	Reverse *netsim.Link
+
+	cfg    Config
+	nHosts int
+}
+
+// RTT returns the end-to-end round-trip propagation time for default-delay
+// hosts.
+func (d *Dumbbell) RTT() sim.Time {
+	return 2 * (d.cfg.SideDelay + d.cfg.BottleneckDelay + d.cfg.SideDelay)
+}
+
+// New builds the dumbbell.
+func New(cfg Config) *Dumbbell {
+	if cfg.BottleneckRate <= 0 {
+		panic("topo: bottleneck rate must be positive")
+	}
+	if cfg.SideRate <= 0 {
+		cfg.SideRate = 10_000_000
+	}
+	if cfg.BDPFactor <= 0 {
+		cfg.BDPFactor = 2
+	}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	net := netsim.New(sched, rng)
+	fabric := mcast.NewFabric(net)
+	d := &Dumbbell{Sched: sched, RNG: rng, Net: net, Fabric: fabric, cfg: cfg}
+
+	d.Left = mcast.NewRouter(net, fabric, "left")
+	d.Right = mcast.NewRouter(net, fabric, "right")
+
+	qBytes := cfg.QueueBytes
+	if qBytes == 0 {
+		rtt := 2 * (cfg.SideDelay + cfg.BottleneckDelay + cfg.SideDelay)
+		qBytes = int(cfg.BDPFactor * float64(cfg.BottleneckRate) * rtt.Sec() / 8)
+	}
+	d.Forward, d.Reverse = net.Connect(d.Left, d.Right, cfg.BottleneckRate, cfg.BottleneckDelay, qBytes)
+	return d
+}
+
+// sideQueue sizes an access-link queue by the same BDP rule.
+func (d *Dumbbell) sideQueue(delay sim.Time) int {
+	rtt := 2 * (d.cfg.SideDelay + d.cfg.BottleneckDelay + delay)
+	q := int(d.cfg.BDPFactor * float64(d.cfg.SideRate) * rtt.Sec() / 8)
+	if q < 1<<16 {
+		q = 1 << 16
+	}
+	return q
+}
+
+// AddSource attaches a sender host on the left side.
+func (d *Dumbbell) AddSource(name string) *netsim.Host {
+	d.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("src%d", d.nHosts)
+	}
+	h := d.Net.AddHost(name)
+	d.Net.Connect(h, d.Left, d.cfg.SideRate, d.cfg.SideDelay, d.sideQueue(d.cfg.SideDelay))
+	return h
+}
+
+// AddReceiver attaches a receiver host behind the right edge router with
+// the default access delay.
+func (d *Dumbbell) AddReceiver(name string) *netsim.Host {
+	return d.AddReceiverDelay(name, d.cfg.SideDelay)
+}
+
+// AddReceiverDelay attaches a receiver host with a custom access delay
+// (the heterogeneous-RTT experiment, Figure 8f).
+func (d *Dumbbell) AddReceiverDelay(name string, delay sim.Time) *netsim.Host {
+	d.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("rcv%d", d.nHosts)
+	}
+	h := d.Net.AddHost(name)
+	d.Net.Connect(h, d.Right, d.cfg.SideRate, delay, d.sideQueue(delay))
+	d.Right.AttachLocal(h)
+	return h
+}
+
+// Done finishes topology construction; call after all hosts are added.
+func (d *Dumbbell) Done() {
+	d.Net.ComputeRoutes()
+}

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"testing"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+func TestPaperConfigDefaults(t *testing.T) {
+	cfg := PaperConfig(1_000_000, 1)
+	if cfg.BottleneckDelay != 20*sim.Millisecond || cfg.SideDelay != 10*sim.Millisecond {
+		t.Fatalf("delays wrong: %+v", cfg)
+	}
+	if cfg.SideRate != 10_000_000 || cfg.BDPFactor != 2 {
+		t.Fatalf("rates wrong: %+v", cfg)
+	}
+}
+
+func TestDumbbellQueueSizing(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	// 2 × 1 Mbps × 80 ms RTT / 8 = 20000 bytes.
+	if got := d.Forward.Queue.CapBytes; got != 20000 {
+		t.Fatalf("bottleneck queue = %d bytes, want 20000", got)
+	}
+	if d.RTT() != 80*sim.Millisecond {
+		t.Fatalf("RTT = %v, want 80ms", d.RTT())
+	}
+}
+
+func TestDumbbellPathCrossesBottleneck(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	src := d.AddSource("s")
+	dst := d.AddReceiver("r")
+	d.Done()
+
+	path := d.Net.Path(src.ID(), dst.ID())
+	if len(path) != 4 {
+		t.Fatalf("path length %d, want src-left-right-dst", len(path))
+	}
+	if path[1] != d.Left.ID() || path[2] != d.Right.ID() {
+		t.Fatalf("path %v does not cross the bottleneck", path)
+	}
+	delay, ok := d.Net.PathDelay(src.ID(), dst.ID())
+	if !ok || delay != 40*sim.Millisecond {
+		t.Fatalf("one-way delay %v, want 40ms", delay)
+	}
+}
+
+func TestReceiverDelayVariants(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	src := d.AddSource("s")
+	fast := d.AddReceiverDelay("fast", 1*sim.Millisecond)
+	slow := d.AddReceiverDelay("slow", 80*sim.Millisecond)
+	d.Done()
+
+	fd, _ := d.Net.PathDelay(src.ID(), fast.ID())
+	sd, _ := d.Net.PathDelay(src.ID(), slow.ID())
+	if fd != 31*sim.Millisecond {
+		t.Fatalf("fast path delay %v, want 31ms", fd)
+	}
+	if sd != 110*sim.Millisecond {
+		t.Fatalf("slow path delay %v, want 110ms", sd)
+	}
+}
+
+func TestReceiversAreLocalInterfaces(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	r := d.AddReceiver("r")
+	d.Done()
+	if _, ok := d.Right.Locals()[r.Addr()]; !ok {
+		t.Fatal("receiver not attached as a local interface of the edge")
+	}
+}
+
+func TestSourceNotLocalToEdge(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	s := d.AddSource("s")
+	d.Done()
+	if _, ok := d.Right.Locals()[s.Addr()]; ok {
+		t.Fatal("source must not be a local interface of the right edge")
+	}
+}
+
+func TestExplicitQueueOverride(t *testing.T) {
+	cfg := PaperConfig(1_000_000, 1)
+	cfg.QueueBytes = 12345
+	d := New(cfg)
+	if d.Forward.Queue.CapBytes != 12345 {
+		t.Fatalf("queue = %d, want override 12345", d.Forward.Queue.CapBytes)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bottleneck should panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestHostNaming(t *testing.T) {
+	d := New(PaperConfig(1_000_000, 1))
+	a := d.AddSource("")
+	b := d.AddReceiver("")
+	if a.Name() == "" || b.Name() == "" || a.Name() == b.Name() {
+		t.Fatalf("auto names wrong: %q %q", a.Name(), b.Name())
+	}
+	if a.Addr() == b.Addr() || a.Addr().IsMulticast() {
+		t.Fatal("host addressing wrong")
+	}
+	_ = packet.Addr(0)
+}
