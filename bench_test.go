@@ -2,11 +2,12 @@
 // harness that regenerates each experiment, at reduced scale so -bench
 // completes quickly; run cmd/figures for paper-length output), plus
 // microbenchmarks of the DELTA/SIGMA hot paths.
-package deltasigma
+package deltasigma_test
 
 import (
 	"testing"
 
+	"deltasigma"
 	"deltasigma/internal/scenario"
 )
 
@@ -68,11 +69,15 @@ func BenchmarkFig09bOverheadSlot(b *testing.B) { benchFigure(b, scenario.Fig9b) 
 // BenchmarkProtectedSessionSecond measures end-to-end simulator throughput:
 // one protected session, one simulated second per iteration.
 func BenchmarkProtectedSessionSecond(b *testing.B) {
-	exp := NewExperiment(500_000, true, 9)
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(500_000),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSeed(9),
+	)
 	exp.AddSession(2)
 	exp.Start()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		exp.Run(Time(i+1) * Second)
+		exp.Advance(deltasigma.Time(i+1) * deltasigma.Second)
 	}
 }

@@ -1,65 +1,166 @@
-// Command dsim runs a single configurable attack scenario: multicast
-// sessions plus an optional inflated-subscription attacker on the paper's
-// dumbbell, printing per-receiver throughput over time.
+// Command dsim runs a single configurable scenario through the public
+// deltasigma experiment builder: any registered protocol variant on any
+// built-in topology, with optional inflated-subscription attack and
+// TCP/CBR cross traffic, printing per-receiver throughput over time or a
+// JSON dump of the typed results.
 //
-//	go run ./cmd/dsim -protected=false -sessions 2 -attack 30 -dur 90
-//	go run ./cmd/dsim -protected=true  -sessions 2 -attack 30 -dur 90
+//	go run ./cmd/dsim -protocol flid-dl -sessions 2 -attack 30 -dur 90
+//	go run ./cmd/dsim -protocol flid-ds -sessions 2 -attack 30 -dur 90
+//	go run ./cmd/dsim -protocol flid-ds -topology chain -capacity 500000,250000 -tcp 1 -dur 60
+//	go run ./cmd/dsim -protocol flid-ds-threshold -topology star -capacity 250000,500000 -sessions 1 -json
+//	go run ./cmd/dsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 
 	"deltasigma"
 )
 
 func main() {
-	protected := flag.Bool("protected", true, "run FLID-DS (true) or plain FLID-DL (false)")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	protocol := flag.String("protocol", "flid-ds", "protocol variant (see -list)")
+	topology := flag.String("topology", "dumbbell", "topology: dumbbell, chain or star")
+	capacity := flag.String("capacity", "", "comma-separated bottleneck bits/s, one per link (default 250k per session)")
 	sessions := flag.Int("sessions", 2, "number of multicast sessions (one receiver each)")
-	capacity := flag.Int64("capacity", 0, "bottleneck bits/s (default 250k per session)")
+	groups := flag.Int("groups", 0, "groups per session (0 = the paper's 10; flid-ds-replicated wants ~6)")
 	attackAt := flag.Float64("attack", 0, "seconds until session 1's receiver inflates (0 = no attack)")
+	nTCP := flag.Int("tcp", 0, "number of TCP Reno competitors")
+	cbrFrac := flag.Float64("cbr", 0, "on-off CBR cross traffic at this fraction of the narrowest bottleneck (0 = none)")
 	dur := flag.Float64("dur", 60, "simulated seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "dump the typed Result as JSON instead of the progress table")
+	list := flag.Bool("list", false, "list registered protocols and exit")
 	flag.Parse()
 
-	cap := *capacity
-	if cap == 0 {
-		cap = int64(*sessions) * 250_000
+	if *list {
+		for _, name := range deltasigma.Protocols() {
+			fmt.Println(name)
+		}
+		return nil
 	}
 
-	exp := deltasigma.NewExperiment(cap, *protected, *seed)
+	if *sessions < 1 {
+		return fmt.Errorf("-sessions must be at least 1, got %d", *sessions)
+	}
+	caps, err := parseCaps(*capacity, int64(*sessions)*250_000)
+	if err != nil {
+		return err
+	}
+	// The narrowest link bounds any flow that crosses every bottleneck
+	// (exact for dumbbell and chain; conservative for star spokes).
+	narrowest := caps[0]
+	for _, c := range caps {
+		if c < narrowest {
+			narrowest = c
+		}
+	}
+
+	opts := []deltasigma.Option{
+		deltasigma.WithProtocol(*protocol),
+		deltasigma.WithSeed(*seed),
+	}
+	if *groups > 0 {
+		opts = append(opts, deltasigma.WithSchedule(deltasigma.RateSchedule{
+			Base: 100_000, Mult: 1.5, N: *groups,
+		}))
+	}
+	switch *topology {
+	case "dumbbell":
+		if len(caps) != 1 {
+			return fmt.Errorf("dumbbell takes exactly one -capacity, got %d", len(caps))
+		}
+		opts = append(opts, deltasigma.WithDumbbell(caps[0]))
+	case "chain":
+		opts = append(opts, deltasigma.WithChain(caps...))
+	case "star":
+		opts = append(opts, deltasigma.WithStar(caps...))
+	default:
+		return fmt.Errorf("unknown topology %q (dumbbell, chain or star)", *topology)
+	}
+
+	exp, err := deltasigma.New(opts...)
+	if err != nil {
+		return err
+	}
+
 	var receivers []*deltasigma.Receiver
-	var labels []string
 	for i := 0; i < *sessions; i++ {
 		s := exp.AddSession(0)
-		var r *deltasigma.Receiver
 		if i == 0 && *attackAt > 0 {
-			r = s.AddAttacker()
-			labels = append(labels, fmt.Sprintf("F%d(attacker)", i+1))
+			receivers = append(receivers, s.AddAttacker())
 		} else {
-			r = s.AddReceiver()
-			labels = append(labels, fmt.Sprintf("F%d", i+1))
+			receivers = append(receivers, s.AddReceiver())
 		}
-		receivers = append(receivers, r)
 	}
-	exp.Start()
+	for i := 0; i < *nTCP; i++ {
+		exp.AddTCP(deltasigma.Time(i) * 100 * deltasigma.Millisecond)
+	}
+	if *cbrFrac > 0 {
+		exp.AddCBR(int64(*cbrFrac*float64(narrowest)), 5*deltasigma.Second, 5*deltasigma.Second)
+	}
 	if *attackAt > 0 {
 		exp.At(deltasigma.Time(*attackAt*float64(deltasigma.Second)), receivers[0].Inflate)
 	}
 
-	mode := "FLID-DL (unprotected)"
-	if *protected {
-		mode = "FLID-DS (DELTA+SIGMA)"
+	end := deltasigma.Time(*dur * float64(deltasigma.Second))
+	if *jsonOut {
+		res := exp.Run(end)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
-	fmt.Printf("%s, %d sessions, %.0f Kbps bottleneck\n\n", mode, *sessions, float64(cap)/1000)
+
+	fmt.Printf("%s on %s, %d sessions, bottleneck(s) %v bits/s\n\n",
+		*protocol, *topology, *sessions, caps)
 
 	step := deltasigma.Time(5) * deltasigma.Second
-	for t := step; t.Sec() <= *dur; t += step {
-		exp.Run(t)
+	var last deltasigma.Time
+	for t := step; t <= end; t += step {
+		exp.Advance(t) // step cheaply; snapshot one Result at the end
+		last = t
 		fmt.Printf("t=%4.0fs", t.Sec())
-		for i, r := range receivers {
-			fmt.Printf("  %s: %3.0fKbps (lvl %d)", labels[i], r.Meter().AvgKbps(t-step, t), r.Level())
+		for _, r := range receivers {
+			fmt.Printf("  %s: %3.0fKbps (lvl %d)", r.Label(), r.Meter().AvgKbps(t-step, t), r.Level())
 		}
 		fmt.Println()
 	}
+	if last > 0 {
+		res := exp.Run(last)
+		fmt.Printf("\nbottleneck utilization %.0f%%, %d packets lost\n",
+			100*res.Utilization(), res.LostPackets)
+		for _, c := range res.Cross {
+			fmt.Printf("%s: %.0f Kbps average\n", c.Label, c.AvgKbps)
+		}
+	}
+	return nil
+}
+
+// parseCaps parses the comma-separated -capacity list, defaulting to one
+// bottleneck of fallback bits/s.
+func parseCaps(s string, fallback int64) ([]int64, error) {
+	if s == "" {
+		return []int64{fallback}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad capacity %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -6,19 +6,34 @@
 // routers, together with the FLID-DL/FLID-DS protocols, the network
 // simulator they run on, and the full evaluation harness.
 //
-// This root package is the public facade: it re-exports the core types and
-// offers a compact builder for protected multicast experiments. The
-// examples/ directory shows it in use; internal packages carry the
-// machinery (one package per subsystem, see DESIGN.md).
+// This root package is the public facade: a composable experiment builder
+// over the internal machinery (one package per subsystem, see DESIGN.md).
+// Experiments are assembled from functional options:
+//
+//	exp, err := deltasigma.New(
+//		deltasigma.WithDumbbell(1_000_000),
+//		deltasigma.WithProtocol("flid-ds"),
+//		deltasigma.WithSeed(7),
+//	)
+//	sess := exp.AddSession(2)   // one multicast session, two receivers
+//	exp.AddTCP(0)               // a TCP Reno competitor
+//	res := exp.Run(60 * deltasigma.Second)
+//
+// Three topologies ship with the package — the paper's dumbbell
+// (WithDumbbell), a multi-bottleneck chain (WithChain) and a star with one
+// SIGMA gatekeeper per edge (WithStar) — and any Topology implementation
+// plugs in through WithTopology. Protocol variants are looked up by name in
+// a registry (WithProtocol): "flid-dl", "flid-ds", "flid-ds-replicated"
+// and "flid-ds-threshold" are built in, and RegisterProtocol adds more.
+// Run returns a typed Result carrying per-receiver throughput series,
+// bottleneck utilization and loss counts. The examples/ directory shows
+// the API in use.
 package deltasigma
 
 import (
 	"deltasigma/internal/core"
-	"deltasigma/internal/flid"
-	"deltasigma/internal/mcast"
 	"deltasigma/internal/netsim"
 	"deltasigma/internal/packet"
-	"deltasigma/internal/sigma"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/stats"
 	"deltasigma/internal/topo"
@@ -33,14 +48,35 @@ type (
 	RateSchedule = core.RateSchedule
 	// Time is a virtual timestamp/duration in nanoseconds.
 	Time = sim.Time
+	// RNG is the deterministic random source experiments fork from.
+	RNG = sim.RNG
 	// Meter accumulates delivered bytes into time bins.
 	Meter = stats.Meter
-	// Dumbbell is the paper's single-bottleneck topology.
-	Dumbbell = topo.Dumbbell
+	// Point is one bin of a throughput time series.
+	Point = stats.Point
 	// Host is an end system of the simulated network.
 	Host = netsim.Host
+	// Link is a unidirectional rate/delay pipe with a drop-tail queue.
+	Link = netsim.Link
 	// Addr is a network (host or group) address.
 	Addr = packet.Addr
+
+	// Topology is an assembled simulated network an experiment runs on.
+	Topology = topo.Topology
+	// Port couples a receiver host with its gatekeeping edge router.
+	Port = topo.Port
+	// Dumbbell is the paper's single-bottleneck topology.
+	Dumbbell = topo.Dumbbell
+	// DumbbellConfig parameterizes a Dumbbell.
+	DumbbellConfig = topo.Config
+	// Chain is a multi-bottleneck parking-lot topology.
+	Chain = topo.Chain
+	// ChainConfig parameterizes a Chain.
+	ChainConfig = topo.ChainConfig
+	// Star is a hub-and-spoke topology with per-edge gatekeepers.
+	Star = topo.Star
+	// StarConfig parameterizes a Star.
+	StarConfig = topo.StarConfig
 )
 
 // Virtual time units.
@@ -49,174 +85,25 @@ const (
 	Second      = sim.Second
 )
 
+// DefaultDelay passed as a receiver access delay selects the topology's
+// default side delay; zero is a genuine zero-delay link.
+const DefaultDelay = topo.DefaultDelay
+
 // PaperSchedule returns the §5.1 rate schedule: 10 groups from 100 Kbps,
 // factor 1.5.
 func PaperSchedule() RateSchedule { return core.PaperSchedule() }
 
-// Experiment is a ready-to-run protected (or baseline) multicast setup on
-// the paper's dumbbell.
-type Experiment struct {
-	// Topology under the experiment.
-	Net *Dumbbell
-	// Protected selects FLID-DS (true) or plain FLID-DL (false).
-	Protected bool
-
-	slot     sim.Time
-	nextID   uint16
-	finished bool
-	sessions []*ExperimentSession
+// PaperDumbbell builds the §5.1 dumbbell with the given bottleneck
+// capacity in bits/s, ready for WithTopology.
+func PaperDumbbell(bottleneck int64, seed uint64) *Dumbbell {
+	return topo.New(topo.PaperConfig(bottleneck, seed))
 }
 
-// ExperimentSession is one multicast session within an experiment.
-type ExperimentSession struct {
-	Sess      *Session
-	Sender    *flid.Sender
-	Receivers []*Receiver
-	exp       *Experiment
-}
+// NewDumbbell builds a dumbbell from an explicit configuration.
+func NewDumbbell(cfg DumbbellConfig) *Dumbbell { return topo.New(cfg) }
 
-// Receiver wraps either protocol's receiver behind one interface.
-type Receiver struct {
-	dl  *flid.Receiver
-	ds  *flid.DSReceiver
-	atk interface{ Inflate() }
-}
+// NewChain builds a multi-bottleneck chain.
+func NewChain(cfg ChainConfig) *Chain { return topo.NewChain(cfg) }
 
-// Start begins receiving.
-func (r *Receiver) Start() {
-	if r.dl != nil {
-		r.dl.Start()
-	} else {
-		r.ds.Start()
-	}
-}
-
-// Level reports the current subscription level.
-func (r *Receiver) Level() int {
-	if r.dl != nil {
-		return r.dl.Level()
-	}
-	return r.ds.Level()
-}
-
-// Meter returns the receiver's throughput meter.
-func (r *Receiver) Meter() *Meter {
-	if r.dl != nil {
-		return r.dl.Meter
-	}
-	return r.ds.Meter
-}
-
-// Inflate launches the inflated-subscription attack from this receiver (it
-// must have been added with AddAttacker).
-func (r *Receiver) Inflate() {
-	if r.atk != nil {
-		r.atk.Inflate()
-	}
-}
-
-// NewExperiment builds a dumbbell with the given bottleneck capacity in
-// bits/s, protected (FLID-DS) or not (FLID-DL).
-func NewExperiment(bottleneck int64, protected bool, seed uint64) *Experiment {
-	e := &Experiment{
-		Net:       topo.New(topo.PaperConfig(bottleneck, seed)),
-		Protected: protected,
-		slot:      500 * sim.Millisecond,
-	}
-	if protected {
-		e.slot = 250 * sim.Millisecond
-	}
-	return e
-}
-
-// AddSession creates a multicast session with the paper's rate schedule and
-// the given number of well-behaved receivers.
-func (e *Experiment) AddSession(receivers int) *ExperimentSession {
-	e.nextID++
-	sess := &core.Session{
-		ID:         e.nextID,
-		BaseAddr:   packet.MulticastBase + packet.Addr(int(e.nextID)*32),
-		Rates:      core.PaperSchedule(),
-		SlotDur:    e.slot,
-		PacketSize: 576,
-	}
-	src := e.Net.AddSource("")
-	for _, a := range sess.Addrs() {
-		e.Net.Fabric.SetSource(a, src.ID())
-	}
-	mode := flid.DL
-	if e.Protected {
-		mode = flid.DS
-	}
-	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
-	es := &ExperimentSession{
-		Sess:   sess,
-		Sender: flid.NewSender(src, sess, mode, policy, e.Net.RNG.Fork(), nil, 2),
-		exp:    e,
-	}
-	for i := 0; i < receivers; i++ {
-		es.AddReceiver()
-	}
-	e.sessions = append(e.sessions, es)
-	return es
-}
-
-// AddReceiver attaches one more well-behaved receiver to the session.
-func (s *ExperimentSession) AddReceiver() *Receiver {
-	host := s.exp.Net.AddReceiver("")
-	r := &Receiver{}
-	if s.exp.Protected {
-		r.ds = flid.NewDSReceiver(host, s.Sess, s.exp.Net.Right.Addr())
-	} else {
-		r.dl = flid.NewReceiver(host, s.Sess, s.exp.Net.Right.Addr())
-	}
-	s.Receivers = append(s.Receivers, r)
-	return r
-}
-
-// AddAttacker attaches an inflated-subscription attacker to the session.
-func (s *ExperimentSession) AddAttacker() *Receiver {
-	host := s.exp.Net.AddReceiver("")
-	r := &Receiver{}
-	if s.exp.Protected {
-		a := flid.NewDSAttacker(host, s.Sess, s.exp.Net.Right.Addr(), s.exp.Net.RNG.Fork())
-		r.ds = a.DSReceiver
-		r.atk = a
-	} else {
-		a := flid.NewAttacker(host, s.Sess, s.exp.Net.Right.Addr())
-		r.dl = a.Receiver
-		r.atk = a
-	}
-	s.Receivers = append(s.Receivers, r)
-	return r
-}
-
-// Start finalizes wiring (routes, gatekeeper) and starts every sender and
-// receiver at time zero. Call exactly once, before Run.
-func (e *Experiment) Start() {
-	if e.finished {
-		return
-	}
-	e.finished = true
-	e.Net.Done()
-	if e.Protected {
-		sigma.NewController(e.Net.Right, sigma.DefaultConfig(e.slot))
-	} else {
-		mcast.NewIGMP(e.Net.Right)
-	}
-	for _, s := range e.sessions {
-		s := s
-		e.Net.Sched.At(0, func() {
-			s.Sender.Start()
-			for _, r := range s.Receivers {
-				r.Start()
-			}
-		})
-	}
-}
-
-// At schedules fn at virtual time t.
-func (e *Experiment) At(t Time, fn func()) { e.Net.Sched.At(t, fn) }
-
-// Run advances the simulation to the given virtual time.
-func (e *Experiment) Run(until Time) { e.Net.Sched.RunUntil(until) }
+// NewStar builds a star with one bottleneck spoke per edge router.
+func NewStar(cfg StarConfig) *Star { return topo.NewStar(cfg) }

@@ -1,57 +1,325 @@
 package deltasigma
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
-func TestFacadeProtectedSessionRuns(t *testing.T) {
-	e := NewExperiment(250_000, true, 7)
-	s := e.AddSession(1)
-	e.Start()
-	e.Run(40 * Second)
-	r := s.Receivers[0]
-	if r.Level() < 2 {
-		t.Fatalf("level = %d, want convergence toward 3", r.Level())
+func TestProtocolRegistryNames(t *testing.T) {
+	want := []string{"flid-dl", "flid-ds", "flid-ds-replicated", "flid-ds-threshold"}
+	got := Protocols()
+	for _, name := range want {
+		p, ok := LookupProtocol(name)
+		if !ok {
+			t.Fatalf("protocol %q not registered (have %v)", name, got)
+		}
+		if p.Name() != name {
+			t.Fatalf("protocol %q reports name %q", name, p.Name())
+		}
+		if prot := p.Protected(); prot == (name == "flid-dl") {
+			t.Fatalf("protocol %q: Protected() = %v", name, prot)
+		}
 	}
-	if avg := r.Meter().AvgKbps(20*Second, 40*Second); avg < 100 {
-		t.Fatalf("throughput %.0f Kbps too low", avg)
+	if len(got) < len(want) {
+		t.Fatalf("Protocols() = %v, want at least %d entries", got, len(want))
 	}
 }
 
-func TestFacadeAttackAndProtection(t *testing.T) {
-	// Baseline: attack profits.
-	base := NewExperiment(500_000, false, 8)
-	s1 := base.AddSession(0)
-	s2 := base.AddSession(1)
-	atk := s1.AddAttacker()
-	base.Start()
-	base.At(20*Second, atk.Inflate)
-	base.Run(50 * Second)
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(WithProtocol("no-such-protocol")); err == nil {
+		t.Fatal("unknown protocol accepted")
+	} else if !strings.Contains(err.Error(), "no-such-protocol") {
+		t.Fatalf("error does not name the protocol: %v", err)
+	}
+	if _, err := New(WithSlot(-Second)); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, err := New(WithECN(1.5)); err == nil {
+		t.Fatal("out-of-range ECN fraction accepted")
+	}
+	if _, err := New(WithPacketSize(0)); err == nil {
+		t.Fatal("zero packet size accepted")
+	}
+	if _, err := New(WithSchedule(RateSchedule{Base: 100_000, Mult: 1.5, N: 300})); err == nil {
+		t.Fatal("invalid schedule accepted (must error, not panic)")
+	}
+	if _, err := New(WithChain()); err == nil {
+		t.Fatal("empty chain accepted (must error, not panic)")
+	}
+	if _, err := New(WithStar(-1)); err == nil {
+		t.Fatal("negative star spoke accepted (must error, not panic)")
+	}
+	if _, err := New(WithDumbbell(0)); err == nil {
+		t.Fatal("zero dumbbell capacity accepted (must error, not panic)")
+	}
+}
+
+// protocolOptions returns per-variant extra options for the cross-protocol
+// tests. A replicated sender transmits every group at its cumulative rate,
+// so the paper's 10-group schedule (≈11.3 Mbps summed) would overflow the
+// 10 Mbps access links; the variant gets the 6-group schedule its demo
+// uses (≈2.1 Mbps summed).
+func protocolOptions(name string) []Option {
+	if name == "flid-ds-replicated" {
+		return []Option{WithSchedule(RateSchedule{Base: 100_000, Mult: 1.5, N: 6})}
+	}
+	return nil
+}
+
+// TestEveryProtocolConverges runs each registered variant on a 250 Kbps
+// dumbbell and checks the receiver climbs toward the fair level (3) and
+// delivers real throughput — the registry smoke test. Levels are sampled
+// every 5 s because the threshold variant probes and oscillates around the
+// fair level by design.
+func TestEveryProtocolConverges(t *testing.T) {
+	for _, name := range Protocols() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opts := append([]Option{WithDumbbell(250_000), WithProtocol(name), WithSeed(7)},
+				protocolOptions(name)...)
+			exp := MustNew(opts...)
+			r := exp.AddSession(1).Receivers[0]
+			maxLevel := 0
+			var res *Result
+			for at := Time(5) * Second; at <= 40*Second; at += 5 * Second {
+				res = exp.Run(at)
+				if lvl := r.Level(); lvl > maxLevel {
+					maxLevel = lvl
+				}
+			}
+			if maxLevel < 2 {
+				t.Fatalf("%s: max level = %d, want convergence toward 3", name, maxLevel)
+			}
+			if avg := r.Meter().AvgKbps(20*Second, 40*Second); avg < 80 {
+				t.Fatalf("%s: throughput %.0f Kbps too low", name, avg)
+			}
+			if u := res.Utilization(); u <= 0.2 || u > 1.05 {
+				t.Fatalf("%s: bottleneck utilization %.2f implausible", name, u)
+			}
+		})
+	}
+}
+
+// TestAttackSuppressedUnderEveryProtectedVariant is the regression the
+// paper is about: under every protected protocol the inflated-subscription
+// attacker gains nothing and the victim session survives.
+func TestAttackSuppressedUnderEveryProtectedVariant(t *testing.T) {
+	for _, name := range Protocols() {
+		p, _ := LookupProtocol(name)
+		if !p.Protected() {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opts := append([]Option{WithDumbbell(500_000), WithProtocol(name), WithSeed(8)},
+				protocolOptions(name)...)
+			exp := MustNew(opts...)
+			atk := exp.AddSession(0).AddAttacker()
+			victim := exp.AddSession(1).Receivers[0]
+			exp.At(20*Second, atk.Inflate)
+			exp.Run(50 * Second)
+
+			if rate := atk.Meter().AvgKbps(35*Second, 50*Second); rate > 400 {
+				t.Fatalf("%s: attacker at %.0f Kbps exceeds any fair reading of 250 Kbps", name, rate)
+			}
+			if rate := victim.Meter().AvgKbps(35*Second, 50*Second); rate < 80 {
+				t.Fatalf("%s: victim starved at %.0f Kbps", name, rate)
+			}
+		})
+	}
+}
+
+// TestBaselineAttackSucceeds pins the other half of the contrast: under
+// plain FLID-DL the same attack does profit.
+func TestBaselineAttackSucceeds(t *testing.T) {
+	exp := MustNew(WithDumbbell(500_000), WithProtocol("flid-dl"), WithSeed(8))
+	atk := exp.AddSession(0).AddAttacker()
+	victim := exp.AddSession(1).Receivers[0]
+	exp.At(20*Second, atk.Inflate)
+	exp.Run(50 * Second)
 	atkRate := atk.Meter().AvgKbps(35*Second, 50*Second)
-	victimRate := s2.Receivers[0].Meter().AvgKbps(35*Second, 50*Second)
+	victimRate := victim.Meter().AvgKbps(35*Second, 50*Second)
 	if atkRate < 2*victimRate {
-		t.Fatalf("baseline attack ineffective: %.0f vs %.0f", atkRate, victimRate)
+		t.Fatalf("baseline attack ineffective: %.0f vs %.0f Kbps", atkRate, victimRate)
+	}
+}
+
+// TestChainTopology proves the Topology abstraction on a two-bottleneck
+// chain: a receiver behind the 250 Kbps second hop is pinned near the fair
+// level for that link while a receiver behind only the 1 Mbps first hop
+// climbs higher.
+func TestChainTopology(t *testing.T) {
+	exp := MustNew(WithChain(1_000_000, 250_000), WithProtocol("flid-ds"), WithSeed(9))
+	chain := exp.Topo.(*Chain)
+	sess := exp.AddSession(1) // default egress: far end, behind both hops
+	far := sess.Receivers[0]
+	near := sess.AddReceiverAt(chain.AttachReceiverAt(1, "near", 0))
+	res := exp.Run(60 * Second)
+
+	if lvl := far.Level(); lvl < 2 || lvl > 4 {
+		t.Fatalf("far receiver at level %d, want near the 250 Kbps fair level 3", lvl)
+	}
+	if near.Level() <= far.Level() {
+		t.Fatalf("near receiver (1 Mbps hop) at level %d, not above far receiver's %d",
+			near.Level(), far.Level())
+	}
+	if len(res.Bottlenecks) != 2 {
+		t.Fatalf("want 2 bottleneck entries, got %d", len(res.Bottlenecks))
+	}
+}
+
+// TestStarPerEdgeGatekeepers proves the star: receivers of one session
+// behind spokes of different capacity converge to different levels, each
+// enforced by its own SIGMA edge.
+func TestStarPerEdgeGatekeepers(t *testing.T) {
+	exp := MustNew(WithStar(600_000, 150_000), WithProtocol("flid-ds"), WithSeed(10))
+	sess := exp.AddSession(2) // round-robin: R1 on the 600k spoke, R2 on the 150k spoke
+	fast, slow := sess.Receivers[0], sess.Receivers[1]
+	exp.Run(60 * Second)
+
+	if slow.Level() > 3 {
+		t.Fatalf("slow-spoke receiver at level %d despite a 150 Kbps bottleneck", slow.Level())
+	}
+	if fast.Level() <= slow.Level() {
+		t.Fatalf("fast-spoke receiver at level %d, not above slow spoke's %d",
+			fast.Level(), slow.Level())
+	}
+	if fast.Meter().AvgKbps(30*Second, 60*Second) <= slow.Meter().AvgKbps(30*Second, 60*Second) {
+		t.Fatal("fast spoke did not outpace slow spoke")
+	}
+}
+
+// TestCrossTrafficOptions runs a protected session against a TCP Reno flow
+// and on-off CBR through the facade and checks everyone gets a share.
+func TestCrossTrafficOptions(t *testing.T) {
+	exp := MustNew(WithDumbbell(750_000), WithProtocol("flid-ds"), WithSeed(11))
+	r := exp.AddSession(1).Receivers[0]
+	tcpFlow := exp.AddTCP(0)
+	exp.AddCBR(75_000, 5*Second, 5*Second)
+	res := exp.Run(60 * Second)
+
+	if avg := r.Meter().AvgKbps(30*Second, 60*Second); avg < 80 {
+		t.Fatalf("multicast receiver starved at %.0f Kbps", avg)
+	}
+	if avg := tcpFlow.Meter().AvgKbps(30*Second, 60*Second); avg < 50 {
+		t.Fatalf("TCP flow starved at %.0f Kbps", avg)
+	}
+	if len(res.Cross) != 2 {
+		t.Fatalf("want 2 cross-traffic entries, got %d", len(res.Cross))
+	}
+	for _, c := range res.Cross {
+		if c.AvgKbps <= 0 {
+			t.Fatalf("cross flow %s delivered nothing", c.Label)
+		}
+	}
+}
+
+// TestRunAutoStartsAndResult checks the satellite fixes: Run without an
+// explicit Start no longer hangs silently, Start stays idempotent, and the
+// typed Result carries coherent data.
+func TestRunAutoStartsAndResult(t *testing.T) {
+	exp := MustNew(WithDumbbell(250_000), WithSeed(12))
+	exp.AddSession(1)
+	res := exp.Run(30 * Second) // no Start() — must auto-start
+	exp.Start()                 // idempotent after the fact
+
+	if res.Protocol != "flid-ds" {
+		t.Fatalf("result protocol %q", res.Protocol)
+	}
+	if res.Seconds != 30 {
+		t.Fatalf("result seconds %.1f", res.Seconds)
+	}
+	rr := res.Receiver(1, 1)
+	if rr == nil {
+		t.Fatal("receiver S1R1 missing from result")
+	}
+	if rr.Label != "S1R1" || rr.Attacker {
+		t.Fatalf("receiver entry %+v mislabelled", rr)
+	}
+	if rr.AvgKbps <= 0 || len(rr.Series) == 0 {
+		t.Fatalf("receiver result empty: %+v", rr)
+	}
+	if len(res.Bottlenecks) != 1 || res.Bottlenecks[0].CapacityBps != 250_000 {
+		t.Fatalf("bottleneck entries wrong: %+v", res.Bottlenecks)
+	}
+	if u := res.Utilization(); u <= 0 || u > 1.05 {
+		t.Fatalf("utilization %.2f out of range", u)
 	}
 
-	// Protected: attack does not profit.
-	prot := NewExperiment(500_000, true, 8)
-	p1 := prot.AddSession(0)
-	p2 := prot.AddSession(1)
-	patk := p1.AddAttacker()
-	prot.Start()
-	prot.At(20*Second, patk.Inflate)
-	prot.Run(50 * Second)
-	pAtk := patk.Meter().AvgKbps(35*Second, 50*Second)
-	pVictim := p2.Receivers[0].Meter().AvgKbps(35*Second, 50*Second)
-	if pAtk > 400 {
-		t.Fatalf("protected attacker at %.0f Kbps", pAtk)
+	// A Run into the past must not rewind the clock or skew the snapshot.
+	stale := exp.Run(5 * Second)
+	if stale.Seconds != 30 || exp.Now() != 30*Second {
+		t.Fatalf("Run into the past rewound: seconds=%.0f now=%v", stale.Seconds, exp.Now())
 	}
-	if pVictim < 80 {
-		t.Fatalf("protected victim starved at %.0f Kbps", pVictim)
+	if u := stale.Utilization(); u > 1.05 {
+		t.Fatalf("stale-until snapshot inflated utilization to %.2f", u)
 	}
+}
+
+// TestECNOption checks WithECN wires marking and edge scrubbing end to
+// end: the queue marks, the receiver still converges, losses stay rare.
+func TestECNOption(t *testing.T) {
+	exp := MustNew(WithDumbbell(250_000), WithECN(0.4), WithSeed(21))
+	r := exp.AddSession(1).Receivers[0]
+	res := exp.Run(40 * Second)
+	if res.Bottlenecks[0].Marked == 0 {
+		t.Fatal("ECN enabled but nothing was marked")
+	}
+	if r.Level() < 2 {
+		t.Fatalf("receiver stuck at level %d under ECN", r.Level())
+	}
+}
+
+// TestWideScheduleSessionsDontOverlap pins the session address-block
+// sizing: schedules wider than the minimum spacing must still get
+// disjoint group blocks.
+func TestWideScheduleSessionsDontOverlap(t *testing.T) {
+	exp := MustNew(
+		WithDumbbell(500_000),
+		WithSchedule(RateSchedule{Base: 10_000, Mult: 1.05, N: 40}),
+		WithSeed(14),
+	)
+	s1 := exp.AddSession(0)
+	s2 := exp.AddSession(0)
+	if top, next := s1.Sess.GroupAddr(40), s2.Sess.GroupAddr(1); top >= next {
+		t.Fatalf("session blocks overlap: S1 group 40 at %v, S2 group 1 at %v", top, next)
+	}
+}
+
+// TestAddAfterStartPanics pins the wiring guard: agents added after the
+// experiment has started would silently never run, so the facade refuses.
+func TestAddAfterStartPanics(t *testing.T) {
+	exp := MustNew(WithDumbbell(250_000), WithSeed(15))
+	exp.AddSession(1)
+	exp.Advance(1 * Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSession after start must panic, not silently no-op")
+		}
+	}()
+	exp.AddSession(1)
 }
 
 func TestFacadePaperSchedule(t *testing.T) {
 	rs := PaperSchedule()
 	if rs.N != 10 || rs.Base != 100_000 {
 		t.Fatalf("unexpected schedule %+v", rs)
+	}
+}
+
+// TestAttackerLabelAndUnwrap pins the receiver bookkeeping the results
+// depend on.
+func TestAttackerLabelAndUnwrap(t *testing.T) {
+	exp := MustNew(WithDumbbell(250_000), WithSeed(13))
+	s := exp.AddSession(1)
+	atk := s.AddAttacker()
+	if !atk.Attacker() || atk.Label() != "S1R2(attacker)" {
+		t.Fatalf("attacker mislabelled: %q attacker=%v", atk.Label(), atk.Attacker())
+	}
+	if s.Receivers[0].Attacker() {
+		t.Fatal("well-behaved receiver flagged as attacker")
+	}
+	if atk.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
 	}
 }

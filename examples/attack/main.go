@@ -2,7 +2,8 @@
 // sessions and two TCP flows share a 1 Mbps bottleneck; receiver F1 turns
 // malicious halfway through and inflates its subscription to all 10 groups.
 // Under plain FLID-DL it captures most of the link; under FLID-DS the same
-// attack changes nothing.
+// attack changes nothing. The two runs differ in exactly one option:
+// WithProtocol.
 package main
 
 import (
@@ -11,12 +12,16 @@ import (
 	"deltasigma"
 )
 
-func run(protected bool) (pre, post, victimPost float64) {
-	exp := deltasigma.NewExperiment(1_000_000, protected, 2003)
-	s1 := exp.AddSession(0)
+func run(protocol string) (pre, post, victimPost float64) {
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(1_000_000),
+		deltasigma.WithProtocol(protocol),
+		deltasigma.WithSeed(2003),
+	)
+	atk := exp.AddSession(0).AddAttacker()
 	s2 := exp.AddSession(1)
-	atk := s1.AddAttacker()
-	exp.Start()
+	exp.AddTCP(0)
+	exp.AddTCP(0)
 
 	const half = 60 * deltasigma.Second
 	exp.At(half, atk.Inflate)
@@ -32,13 +37,13 @@ func main() {
 	fmt.Println("Inflated subscription on a 1 Mbps bottleneck (fair share 250 Kbps)")
 	fmt.Println()
 
-	pre, post, victim := run(false)
+	pre, post, victim := run("flid-dl")
 	fmt.Printf("FLID-DL (IGMP, trusted receivers):\n")
 	fmt.Printf("  attacker:  %3.0f Kbps -> %3.0f Kbps after inflating\n", pre, post)
 	fmt.Printf("  victim F2: %3.0f Kbps while the attack runs\n", victim)
 	fmt.Println()
 
-	pre, post, victim = run(true)
+	pre, post, victim = run("flid-ds")
 	fmt.Printf("FLID-DS (DELTA + SIGMA):\n")
 	fmt.Printf("  attacker:  %3.0f Kbps -> %3.0f Kbps after 'inflating'\n", pre, post)
 	fmt.Printf("  victim F2: %3.0f Kbps while the attack runs\n", victim)

@@ -1,56 +1,33 @@
-// ECN demo: the §3.1.2 congestion-notification adaptation. The bottleneck
-// queue marks packets instead of relying on loss alone, and the SIGMA edge
-// router scrubs the DELTA component field of each marked packet before
-// local delivery — a mark denies keys exactly like a loss, but no data is
-// thrown away.
+// ECN demo: the §3.1.2 congestion-notification adaptation, enabled with a
+// single option. The bottleneck queue marks packets instead of relying on
+// loss alone, and the SIGMA edge router scrubs the DELTA component field
+// of each marked packet before local delivery — a mark denies keys exactly
+// like a loss, but no data is thrown away.
 package main
 
 import (
 	"fmt"
 
-	"deltasigma/internal/core"
-	"deltasigma/internal/flid"
-	"deltasigma/internal/keys"
-	"deltasigma/internal/packet"
-	"deltasigma/internal/sigma"
-	"deltasigma/internal/sim"
-	"deltasigma/internal/topo"
+	"deltasigma"
 )
 
 func main() {
-	d := topo.New(topo.PaperConfig(250_000, 21))
-	src := d.AddSource("src")
-	rcvHost := d.AddReceiver("rcv")
-	d.Done()
-
-	// Mark at 40% queue occupancy.
-	d.Forward.Queue.MarkAt = d.Forward.Queue.CapBytes * 2 / 5
-
-	slot := 250 * sim.Millisecond
-	ctl := sigma.NewController(d.Right, sigma.DefaultConfig(slot))
-	ctl.EnableECNScrub(keys.NewSource(keys.DefaultBits, d.RNG.Fork().Uint64))
-
-	sess := &core.Session{
-		ID:         1,
-		BaseAddr:   packet.MulticastBase,
-		Rates:      core.PaperSchedule(),
-		SlotDur:    slot,
-		PacketSize: 576,
-	}
-	for _, a := range sess.Addrs() {
-		d.Fabric.SetSource(a, src.ID())
-	}
-	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
-	snd := flid.NewSender(src, sess, flid.DS, policy, d.RNG.Fork(), nil, 2)
-	rcv := flid.NewDSReceiver(rcvHost, sess, d.Right.Addr())
-	d.Sched.At(0, func() { snd.Start(); rcv.Start() })
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(250_000),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithECN(0.4), // mark at 40% queue occupancy, scrub at the edge
+		deltasigma.WithSeed(21),
+	)
+	r := exp.AddSession(1).Receivers[0]
 
 	fmt.Println("FLID-DS with ECN marking (component scrub at the edge):")
-	for t := sim.Time(10) * sim.Second; t <= 60*sim.Second; t += 10 * sim.Second {
-		d.Sched.RunUntil(t)
+	var res *deltasigma.Result
+	for t := deltasigma.Time(10) * deltasigma.Second; t <= 60*deltasigma.Second; t += 10 * deltasigma.Second {
+		res = exp.Run(t)
+		b := res.Bottlenecks[0]
 		fmt.Printf("t=%2.0fs level=%d rate=%3.0f Kbps marked=%d dropped=%d\n",
-			t.Sec(), rcv.Level(), rcv.Meter.AvgKbps(t-10*sim.Second, t),
-			d.Forward.Queue.Marked, d.Forward.Queue.Dropped)
+			t.Sec(), r.Level(), r.Meter().AvgKbps(t-10*deltasigma.Second, t),
+			b.Marked, b.Dropped)
 	}
 	fmt.Println("\nMarked packets arrive with scrubbed components: the receiver keeps")
 	fmt.Println("the data but cannot reconstruct its level key, so it backs off —")

@@ -1,6 +1,7 @@
 // Quickstart: one DELTA+SIGMA-protected FLID-DS session on the paper's
-// single-bottleneck topology. Two receivers converge to the fair
-// subscription level; the program prints their level and throughput.
+// single-bottleneck topology, assembled with the options API. Two
+// receivers converge to the fair subscription level; the program prints
+// their level and throughput, then the typed result summary.
 package main
 
 import (
@@ -11,12 +12,16 @@ import (
 
 func main() {
 	// 250 Kbps bottleneck: the fair level is 3 (100·1.5² = 225 Kbps).
-	exp := deltasigma.NewExperiment(250_000, true, 42)
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(250_000),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSeed(42),
+	)
 	sess := exp.AddSession(2)
-	exp.Start()
 
+	var res *deltasigma.Result
 	for t := deltasigma.Time(10) * deltasigma.Second; t <= 60*deltasigma.Second; t += 10 * deltasigma.Second {
-		exp.Run(t)
+		res = exp.Run(t) // Run auto-starts the experiment
 		fmt.Printf("t=%2.0fs", t.Sec())
 		for i, r := range sess.Receivers {
 			fmt.Printf("  receiver%d: level=%d rate=%3.0fKbps", i+1, r.Level(),
@@ -24,6 +29,8 @@ func main() {
 		}
 		fmt.Println()
 	}
+	fmt.Printf("\nbottleneck utilization %.0f%%, %d packets lost\n",
+		100*res.Utilization(), res.LostPackets)
 
 	fmt.Println("\nBoth receivers hold the fair level without any receiver trust:")
 	fmt.Println("every slot they reconstruct keys from received packets (DELTA) and")

@@ -1,51 +1,32 @@
-// Replicated multicast demo: the Figure 5 DELTA instantiation. The session
-// offers the same content in six groups at rates 100..759 Kbps; a receiver
-// subscribes to exactly one group and moves between them with keys.
+// Replicated multicast demo: the Figure 5 DELTA instantiation, selected
+// through the protocol registry. The session offers the same content in
+// six groups at rates 100..759 Kbps; a receiver subscribes to exactly one
+// group (Level reports which) and moves between them with keys.
 package main
 
 import (
 	"fmt"
 
-	"deltasigma/internal/core"
-	"deltasigma/internal/packet"
-	"deltasigma/internal/replicated"
-	"deltasigma/internal/sigma"
-	"deltasigma/internal/sim"
-	"deltasigma/internal/topo"
+	"deltasigma"
 )
 
 func main() {
-	d := topo.New(topo.PaperConfig(300_000, 11))
-	src := d.AddSource("src")
-	rcvHost := d.AddReceiver("rcv")
-	d.Done()
-
-	slot := 250 * sim.Millisecond
-	sigma.NewController(d.Right, sigma.DefaultConfig(slot))
-
-	sess := &core.Session{
-		ID:         1,
-		BaseAddr:   packet.MulticastBase,
-		Rates:      core.RateSchedule{Base: 100_000, Mult: 1.5, N: 6},
-		SlotDur:    slot,
-		PacketSize: 576,
-	}
-	for _, a := range sess.Addrs() {
-		d.Fabric.SetSource(a, src.ID())
-	}
-	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
-	snd := replicated.NewSender(src, sess, policy, d.RNG.Fork(), 2)
-	rcv := replicated.NewReceiver(rcvHost, sess, d.Right.Addr())
-
-	d.Sched.At(0, func() { snd.Start(); rcv.Start() })
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(300_000),
+		deltasigma.WithProtocol("flid-ds-replicated"),
+		deltasigma.WithSchedule(deltasigma.RateSchedule{Base: 100_000, Mult: 1.5, N: 6}),
+		deltasigma.WithSeed(11),
+	)
+	sess := exp.AddSession(1)
+	r := sess.Receivers[0]
 
 	fmt.Println("Replicated multicast (one group at a time) on a 300 Kbps link:")
-	for t := sim.Time(5) * sim.Second; t <= 60*sim.Second; t += 5 * sim.Second {
-		d.Sched.RunUntil(t)
-		fmt.Printf("t=%2.0fs group=%d (stream rate %3.0f Kbps) delivered=%3.0f Kbps switches=%d\n",
-			t.Sec(), rcv.Group(),
-			float64(sess.Rates.Cumulative(rcv.Group()))/1000,
-			rcv.Meter.AvgKbps(t-5*sim.Second, t), rcv.Switches)
+	for t := deltasigma.Time(5) * deltasigma.Second; t <= 60*deltasigma.Second; t += 5 * deltasigma.Second {
+		exp.Run(t)
+		fmt.Printf("t=%2.0fs group=%d (stream rate %3.0f Kbps) delivered=%3.0f Kbps\n",
+			t.Sec(), r.Level(),
+			float64(sess.Sess.Rates.Cumulative(r.Level()))/1000,
+			r.Meter().AvgKbps(t-5*deltasigma.Second, t))
 	}
 	fmt.Println("\nThe receiver settles on the fastest stream its key entitlement")
 	fmt.Println("sustains: group keys come from the Figure 5 DELTA instantiation")

@@ -1,48 +1,40 @@
 // Threshold-protocol demo: the Shamir-sharing DELTA instantiation (§3.1.2).
 // An RLM/WEBRC-style receiver is congested only when its loss rate exceeds
 // the per-level tolerance; its level key reconstructs exactly when it
-// caught enough Shamir shares.
+// caught enough Shamir shares. The registered "flid-ds-threshold" protocol
+// uses graded tolerances; WithProtocolImpl parameterizes the same variant
+// with custom ones.
 package main
 
 import (
 	"fmt"
 
-	"deltasigma/internal/core"
-	"deltasigma/internal/packet"
-	"deltasigma/internal/sigma"
-	"deltasigma/internal/sim"
-	"deltasigma/internal/threshold"
-	"deltasigma/internal/topo"
+	"deltasigma"
 )
 
-func run(label string, thresh []float64, seed uint64) {
-	d := topo.New(topo.PaperConfig(300_000, seed))
-	src := d.AddSource("src")
-	rcvHost := d.AddReceiver("rcv")
-	d.Done()
-	slot := 250 * sim.Millisecond
-	sigma.NewController(d.Right, sigma.DefaultConfig(slot))
+// flat returns RLM-style uniform tolerances.
+func flat(n int, tol float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = tol
+	}
+	return out
+}
 
-	sess := &core.Session{
-		ID:         1,
-		BaseAddr:   packet.MulticastBase,
-		Rates:      core.RateSchedule{Base: 100_000, Mult: 1.5, N: 6},
-		SlotDur:    slot,
-		PacketSize: 576,
-	}
-	for _, a := range sess.Addrs() {
-		d.Fabric.SetSource(a, src.ID())
-	}
-	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
-	snd := threshold.NewSender(src, sess, thresh, policy, d.RNG.Fork(), 2)
-	rcv := threshold.NewReceiver(rcvHost, sess, thresh, d.Right.Addr())
-	d.Sched.At(0, func() { snd.Start(); rcv.Start() })
+func run(label string, proto deltasigma.Option, seed uint64) {
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(300_000),
+		proto,
+		deltasigma.WithSchedule(deltasigma.RateSchedule{Base: 100_000, Mult: 1.5, N: 6}),
+		deltasigma.WithSeed(seed),
+	)
+	r := exp.AddSession(1).Receivers[0]
 
 	fmt.Printf("%s on a 300 Kbps link:\n", label)
-	for t := sim.Time(10) * sim.Second; t <= 60*sim.Second; t += 10 * sim.Second {
-		d.Sched.RunUntil(t)
+	for t := deltasigma.Time(10) * deltasigma.Second; t <= 60*deltasigma.Second; t += 10 * deltasigma.Second {
+		exp.Run(t)
 		fmt.Printf("  t=%2.0fs level=%d rate=%3.0f Kbps\n",
-			t.Sec(), rcv.Level(), rcv.Meter.AvgKbps(t-10*sim.Second, t))
+			t.Sec(), r.Level(), r.Meter().AvgKbps(t-10*deltasigma.Second, t))
 	}
 	fmt.Println()
 }
@@ -51,6 +43,8 @@ func main() {
 	fmt.Println("Loss-rate-threshold congestion control with Shamir (k,n) key shares")
 	fmt.Println("(a receiver reconstructs a level key iff its loss stayed in tolerance)")
 	fmt.Println()
-	run("Flat 25% tolerances (RLM): overshoots and oscillates", threshold.RLMThresholds(6), 5)
-	run("Graded tolerances (WEBRC): settles at the fair level", threshold.GradedThresholds(6), 5)
+	run("Flat 25% tolerances (RLM): overshoots and oscillates",
+		deltasigma.WithProtocolImpl(deltasigma.ThresholdProtocol{Thresholds: flat(6, 0.25)}), 5)
+	run("Graded tolerances (WEBRC): settles at the fair level",
+		deltasigma.WithProtocol("flid-ds-threshold"), 5)
 }

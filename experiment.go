@@ -1,0 +1,364 @@
+package deltasigma
+
+import (
+	"fmt"
+
+	"deltasigma/internal/core"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+)
+
+// sessionSpacing is the minimum gap between session group address blocks;
+// schedules wider than this get a correspondingly wider block.
+const sessionSpacing = 32
+
+// blockSize returns the address-block stride for this experiment's
+// schedule, so sessions never overlap however many groups they carry.
+func (e *Experiment) blockSize() int {
+	if n := e.schedule.N; n > sessionSpacing {
+		return n
+	}
+	return sessionSpacing
+}
+
+// defaultPacketSize is the §5.1 wire size of data packets.
+const defaultPacketSize = 576
+
+// Experiment is a composable protected (or baseline) multicast setup: a
+// topology, a protocol variant, multicast sessions with well-behaved
+// receivers and attackers, and TCP/CBR cross traffic. Build one with New,
+// wire sessions and cross traffic, then Run.
+type Experiment struct {
+	// Topo is the network the experiment runs on.
+	Topo Topology
+	// Protocol is the congestion control variant sessions run.
+	Protocol Protocol
+
+	seed     uint64
+	slot     Time
+	schedule RateSchedule
+	pktSize  int
+	ecnFrac  float64
+
+	nextID   uint16
+	started  bool
+	sessions []*ExperimentSession
+	tcps     []*TCPFlow
+	cbrs     []*CBR
+
+	controllers []*sigma.Controller
+}
+
+// New assembles an experiment from functional options. With no options it
+// runs FLID-DS on a 1 Mbps paper dumbbell with the §5.1 schedule.
+func New(opts ...Option) (*Experiment, error) {
+	s := settings{
+		seed:     1,
+		schedule: core.PaperSchedule(),
+		pktSize:  defaultPacketSize,
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.protocol == nil {
+		s.protocol, _ = LookupProtocol("flid-ds")
+	}
+	if s.slot == 0 {
+		s.slot = s.protocol.DefaultSlot()
+	}
+	t := s.topology
+	if t == nil {
+		fn := s.topoFn
+		if fn == nil {
+			fn = func(seed uint64) Topology { return PaperDumbbell(1_000_000, seed) }
+		}
+		t = fn(s.seed)
+	}
+	return &Experiment{
+		Topo:     t,
+		Protocol: s.protocol,
+		seed:     s.seed,
+		slot:     s.slot,
+		schedule: s.schedule,
+		pktSize:  s.pktSize,
+		ecnFrac:  s.ecnFrac,
+	}, nil
+}
+
+// MustNew is New, panicking on option errors — for examples, tests and
+// hardcoded configurations.
+func MustNew(opts ...Option) *Experiment {
+	e, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// mustNotHaveStarted guards wiring calls: once Start has run, routes are
+// computed and agents are scheduled, so later additions would silently
+// never run — fail loudly instead.
+func (e *Experiment) mustNotHaveStarted(op string) {
+	if e.started {
+		panic(fmt.Sprintf("deltasigma: %s after the experiment has started", op))
+	}
+}
+
+// Slot returns the slot duration sessions run on.
+func (e *Experiment) Slot() Time { return e.slot }
+
+// Seed returns the experiment seed.
+func (e *Experiment) Seed() uint64 { return e.seed }
+
+// ExperimentSession is one multicast session within an experiment.
+type ExperimentSession struct {
+	// Sess is the session descriptor.
+	Sess *Session
+	// Sender is the protocol source (type-assert for protocol-specific
+	// statistics, e.g. *flid.Sender).
+	Sender SenderAgent
+	// Receivers holds every receiver in attachment order, attackers
+	// included.
+	Receivers []*Receiver
+
+	exp   *Experiment
+	index int
+}
+
+// Receiver wraps any protocol's receiver — or attacker — behind one
+// interface.
+type Receiver struct {
+	agent ReceiverAgent
+	atk   Inflater // nil for well-behaved receivers
+
+	exp     *Experiment
+	session int
+	index   int
+	startAt Time
+}
+
+// StartAt defers the receiver's automatic start to virtual time t (the
+// default is time zero — the staggered-join experiments use this). Call
+// before the experiment starts; returns the receiver for chaining.
+func (r *Receiver) StartAt(t Time) *Receiver {
+	r.exp.mustNotHaveStarted("StartAt")
+	r.startAt = t
+	return r
+}
+
+// Start begins receiving (sessions started via Experiment.Start do this
+// automatically).
+func (r *Receiver) Start() { r.agent.Start() }
+
+// Stop leaves the session.
+func (r *Receiver) Stop() { r.agent.Stop() }
+
+// Level reports the current subscription level (for replicated sessions,
+// the current group).
+func (r *Receiver) Level() int { return r.agent.Level() }
+
+// Meter returns the receiver's throughput meter.
+func (r *Receiver) Meter() *Meter { return r.agent.Meter() }
+
+// Attacker reports whether this receiver was added with AddAttacker.
+func (r *Receiver) Attacker() bool { return r.atk != nil }
+
+// Inflate launches the inflated-subscription attack from this receiver (it
+// must have been added with AddAttacker).
+func (r *Receiver) Inflate() {
+	if r.atk != nil {
+		r.atk.Inflate()
+	}
+}
+
+// Unwrap returns the concrete protocol agent (e.g. *flid.DSAttacker) for
+// callers that need protocol-specific statistics.
+func (r *Receiver) Unwrap() any {
+	if u, ok := r.agent.(Unwrapper); ok {
+		return u.Unwrap()
+	}
+	return r.agent
+}
+
+// Label names the receiver in results: S<session>R<index>, with an
+// "(attacker)" suffix for attackers.
+func (r *Receiver) Label() string {
+	l := fmt.Sprintf("S%dR%d", r.session, r.index)
+	if r.atk != nil {
+		l += "(attacker)"
+	}
+	return l
+}
+
+// AddSession creates a multicast session with the experiment's schedule
+// and the given number of well-behaved receivers at the topology's default
+// egress.
+func (e *Experiment) AddSession(receivers int) *ExperimentSession {
+	e.mustNotHaveStarted("AddSession")
+	e.nextID++
+	sess := &core.Session{
+		ID:         e.nextID,
+		BaseAddr:   packet.MulticastBase + packet.Addr(int(e.nextID)*e.blockSize()),
+		Rates:      e.schedule,
+		SlotDur:    e.slot,
+		PacketSize: e.pktSize,
+	}
+	src := e.Topo.AttachSource("")
+	for _, a := range sess.Addrs() {
+		e.Topo.Multicast().SetSource(a, src.ID())
+	}
+	s := &ExperimentSession{
+		Sess:   sess,
+		Sender: e.Protocol.NewSender(src, sess, e.Topo.Rand().Fork()),
+		exp:    e,
+		index:  int(e.nextID),
+	}
+	for i := 0; i < receivers; i++ {
+		s.AddReceiver()
+	}
+	e.sessions = append(e.sessions, s)
+	return s
+}
+
+// Sessions returns every session in creation order.
+func (e *Experiment) Sessions() []*ExperimentSession { return e.sessions }
+
+// AddReceiver attaches one more well-behaved receiver at the topology's
+// default egress with the default access delay.
+func (s *ExperimentSession) AddReceiver() *Receiver {
+	return s.AddReceiverDelay(DefaultDelay)
+}
+
+// AddReceiverDelay attaches a well-behaved receiver whose access link has
+// the given propagation delay (the heterogeneous-RTT experiments; a
+// negative delay — DefaultDelay — uses the topology default, zero is a
+// genuine zero-delay link).
+func (s *ExperimentSession) AddReceiverDelay(delay Time) *Receiver {
+	return s.AddReceiverAt(s.exp.Topo.AttachReceiver("", delay))
+}
+
+// AddReceiverAt attaches a well-behaved receiver at an explicit port —
+// obtained from a topology's placement methods (e.g. Chain.AttachReceiverAt,
+// Star.AttachReceiverAt) for non-default placement.
+func (s *ExperimentSession) AddReceiverAt(port Port) *Receiver {
+	s.exp.mustNotHaveStarted("AddReceiver")
+	agent := s.exp.Protocol.NewReceiver(port.Host, s.Sess, port.Edge.Addr())
+	return s.wrap(agent)
+}
+
+// AddAttacker attaches an inflated-subscription attacker at the topology's
+// default egress. It panics if the protocol variant has no attacker; use
+// the Protocol's NewAttacker directly to handle that case.
+func (s *ExperimentSession) AddAttacker() *Receiver {
+	return s.AddAttackerAt(s.exp.Topo.AttachReceiver("", DefaultDelay))
+}
+
+// AddAttackerAt attaches an attacker at an explicit port.
+func (s *ExperimentSession) AddAttackerAt(port Port) *Receiver {
+	s.exp.mustNotHaveStarted("AddAttacker")
+	agent, err := s.exp.Protocol.NewAttacker(port.Host, s.Sess, port.Edge.Addr(), s.exp.Topo.Rand().Fork())
+	if err != nil {
+		panic(err)
+	}
+	return s.wrap(agent)
+}
+
+func (s *ExperimentSession) wrap(agent ReceiverAgent) *Receiver {
+	r := &Receiver{
+		agent:   agent,
+		exp:     s.exp,
+		session: s.index,
+		index:   len(s.Receivers) + 1,
+	}
+	if atk, ok := agent.(Inflater); ok {
+		r.atk = atk
+	}
+	s.Receivers = append(s.Receivers, r)
+	return r
+}
+
+// Start finalizes wiring — routes, one gatekeeper per edge router (SIGMA
+// controllers for protected protocols, plain IGMP otherwise), ECN marking
+// if enabled — and schedules every sender, receiver and cross-traffic
+// source. Idempotent; Run calls it automatically.
+func (e *Experiment) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.Topo.Finish()
+
+	if e.ecnFrac > 0 {
+		for _, l := range e.Topo.Bottlenecks() {
+			if l.Queue.CapBytes > 0 {
+				l.Queue.MarkAt = int(e.ecnFrac * float64(l.Queue.CapBytes))
+			}
+		}
+	}
+
+	for _, edge := range e.Topo.Edges() {
+		if e.Protocol.Protected() {
+			ctl := sigma.NewController(edge, sigma.DefaultConfig(e.slot))
+			if e.ecnFrac > 0 {
+				ctl.EnableECNScrub(keys.NewSource(keys.DefaultBits, e.Topo.Rand().Fork().Uint64))
+			}
+			e.controllers = append(e.controllers, ctl)
+		} else {
+			mcast.NewIGMP(edge)
+		}
+	}
+
+	sched := e.Topo.Scheduler()
+	for _, s := range e.sessions {
+		s := s
+		sched.At(0, s.Sender.Start)
+		for _, r := range s.Receivers {
+			r := r
+			sched.At(r.startAt, r.Start)
+		}
+	}
+	for _, f := range e.tcps {
+		f.schedule(sched)
+	}
+	for _, c := range e.cbrs {
+		c.schedule(sched)
+	}
+}
+
+// Controllers returns the SIGMA controllers installed at Start (empty for
+// unprotected experiments or before Start).
+func (e *Experiment) Controllers() []*sigma.Controller { return e.controllers }
+
+// At schedules fn at virtual time t.
+func (e *Experiment) At(t Time, fn func()) { e.Topo.Scheduler().At(t, fn) }
+
+// Now returns the current virtual time.
+func (e *Experiment) Now() Time { return e.Topo.Scheduler().Now() }
+
+// Advance runs the simulation to the given virtual time (starting the
+// experiment if needed) without snapshotting results — the cheap stepping
+// primitive for loops that read meters directly. Times already in the
+// past are a no-op; virtual time never rewinds.
+func (e *Experiment) Advance(until Time) {
+	e.Start()
+	if until < e.Now() {
+		return
+	}
+	e.Topo.Scheduler().RunUntil(until)
+}
+
+// Run advances the simulation to the given virtual time, starting the
+// experiment first if Start has not been called, and returns the typed
+// results accumulated from time zero. Call repeatedly with growing times
+// to step through an experiment — or use Advance for steps whose Result
+// you would discard (the snapshot rebuilds every receiver's series). An
+// `until` already in the past snapshots at the current time instead.
+func (e *Experiment) Run(until Time) *Result {
+	e.Advance(until)
+	return e.result(e.Now())
+}

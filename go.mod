@@ -1,0 +1,3 @@
+module deltasigma
+
+go 1.22

@@ -40,10 +40,18 @@ type RateSchedule struct {
 // minimal group, factor 1.5.
 func PaperSchedule() RateSchedule { return RateSchedule{Base: 100_000, Mult: 1.5, N: 10} }
 
+// Check reports nonsensical parameters.
+func (r RateSchedule) Check() error {
+	if r.Base <= 0 || r.Mult < 1 || r.N < 1 || r.N > 255 {
+		return fmt.Errorf("core: invalid rate schedule %+v", r)
+	}
+	return nil
+}
+
 // Validate panics on nonsensical parameters.
 func (r RateSchedule) Validate() {
-	if r.Base <= 0 || r.Mult < 1 || r.N < 1 || r.N > 255 {
-		panic(fmt.Sprintf("core: invalid rate schedule %+v", r))
+	if err := r.Check(); err != nil {
+		panic(err)
 	}
 }
 

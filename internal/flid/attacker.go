@@ -2,10 +2,10 @@ package flid
 
 import (
 	"deltasigma/internal/core"
-	"deltasigma/internal/keys"
 	"deltasigma/internal/mcast"
 	"deltasigma/internal/netsim"
 	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/stats"
 )
@@ -47,74 +47,21 @@ func (a *Attacker) Inflated() bool { return a.inflated }
 
 // DSAttacker attacks a DELTA+SIGMA-protected session: it keeps a legitimate
 // FLID-DS receiver running (its fair share — the attacker still wants the
-// data) while trying to inflate by submitting guessed keys for every higher
-// group each slot and by sending plain IGMP joins the SIGMA router ignores
-// (§4.2, protection against attacks on SIGMA).
+// data) while running the shared sigma.GuessAttack engine — guessed keys
+// for every higher group each slot plus plain IGMP joins the SIGMA router
+// ignores (§4.2, protection against attacks on SIGMA).
 type DSAttacker struct {
 	*DSReceiver
-	igmpAtk *mcast.Client
-	rng     *sim.RNG
-
-	// GuessesPerSlot is y: how many random keys per group per slot the
-	// attacker can afford to submit.
-	GuessesPerSlot int
-
-	inflated bool
-	// Meters for the attack traffic are shared with the receiver's Meter.
-	GuessesSent uint64
+	*sigma.GuessAttack
 }
 
 // NewDSAttacker builds a DS attacker on host.
 func NewDSAttacker(host *netsim.Host, sess *core.Session, routerAddr packet.Addr, rng *sim.RNG) *DSAttacker {
+	r := NewDSReceiver(host, sess, routerAddr)
 	return &DSAttacker{
-		DSReceiver:     NewDSReceiver(host, sess, routerAddr),
-		igmpAtk:        mcast.NewClient(host, routerAddr),
-		rng:            rng,
-		GuessesPerSlot: 16,
+		DSReceiver:  r,
+		GuessAttack: sigma.NewGuessAttack(host, sess, routerAddr, r.Client(), r.Level, rng),
 	}
-}
-
-// Inflate begins the inflation attempts.
-func (a *DSAttacker) Inflate() {
-	if a.inflated {
-		return
-	}
-	a.inflated = true
-	// Plain IGMP joins: a SIGMA edge router confers nothing for them.
-	for g := 1; g <= a.Sess.Rates.N; g++ {
-		a.igmpAtk.Join(a.Sess.GroupAddr(g))
-	}
-	a.attackSlot()
-}
-
-// Inflated reports whether the attack is active.
-func (a *DSAttacker) Inflated() bool { return a.inflated }
-
-func (a *DSAttacker) attackSlot() {
-	if !a.inflated {
-		return
-	}
-	sched := a.host.Scheduler()
-	cur := a.Sess.SlotAt(sched.Now())
-	// Submit guessed keys for every group above the fair level, for the
-	// next access slot.
-	target := core.AccessSlot(cur)
-	pairs := make([]packet.AddrKey, 0, a.Sess.Rates.N*a.GuessesPerSlot)
-	for g := a.Level() + 1; g <= a.Sess.Rates.N; g++ {
-		for i := 0; i < a.GuessesPerSlot; i++ {
-			pairs = append(pairs, packet.AddrKey{
-				Addr: a.Sess.GroupAddr(g),
-				Key:  keys.Key(a.rng.Uint64()) & 0xffff,
-			})
-			a.GuessesSent++
-		}
-	}
-	if len(pairs) > 0 {
-		a.Client().Subscribe(target, pairs)
-	}
-	// Guess late in each slot, after the edge has the slot's announced keys
-	// to check against (guesses against an empty key store are wasted).
-	sched.At(a.Sess.SlotStart(cur+1)+7*a.Sess.SlotDur/10, func() { a.attackSlot() })
 }
 
 // NewMeterOnly attaches a pure throughput meter for session data on host.

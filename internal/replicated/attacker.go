@@ -1,0 +1,28 @@
+package replicated
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+)
+
+// Attacker attacks a protected replicated session: it keeps a legitimate
+// receiver running on its entitled group (the attacker still wants the
+// data) while running the shared sigma.GuessAttack engine against the
+// faster streams — the §4.2 attack surface aimed at the Figure 5
+// instantiation.
+type Attacker struct {
+	*Receiver
+	*sigma.GuessAttack
+}
+
+// NewAttacker builds a replicated-session attacker on host.
+func NewAttacker(host *netsim.Host, sess *core.Session, routerAddr packet.Addr, rng *sim.RNG) *Attacker {
+	r := NewReceiver(host, sess, routerAddr)
+	return &Attacker{
+		Receiver:    r,
+		GuessAttack: sigma.NewGuessAttack(host, sess, routerAddr, r.client, r.Group, rng),
+	}
+}

@@ -17,56 +17,29 @@ func attackExperiment(opt Options, mode flid.Mode) *Result {
 	l := newLab(topo.PaperConfig(1_000_000, opt.Seed), mode)
 
 	// Session 1 carries the attacker F1, session 2 the victim F2.
-	s1 := l.addSessionWithoutReceivers(1)
-	s2 := l.addSessionWithoutReceivers(2)
-	f1Host := l.d.AddReceiver("F1")
-	f2Host := l.d.AddReceiver("F2")
+	atk := l.addSession(0).AddAttacker()
+	f2 := l.addSession(0).AddReceiver()
+	t1 := l.addTCP(0)
+	t2 := l.addTCP(0)
 
-	t1 := l.addTCP(1, 0)
-	t2 := l.addTCP(2, 0)
-
-	l.finish()
+	l.e.At(inflateAt, atk.Inflate)
+	l.e.Run(dur)
 
 	res := &Result{}
-	sched := l.d.Sched
-
-	switch mode {
-	case flid.DL:
-		res.Name, res.Title = "fig1", "Impact of inflated subscription (FLID-DL)"
-		atk := flid.NewAttacker(f1Host, s1.Sess, l.d.Right.Addr())
-		f2 := flid.NewReceiver(f2Host, s2.Sess, l.d.Right.Addr())
-		sched.At(0, func() { s1.Sender.Start(); s2.Sender.Start(); atk.Start(); f2.Start() })
-		sched.At(inflateAt, atk.Inflate)
-		sched.RunUntil(dur)
-		res.Series = []Series{
-			{Label: "F1", Points: atk.Meter.Series(SmoothenWin)},
-			{Label: "F2", Points: f2.Meter.Series(SmoothenWin)},
-		}
-	case flid.DS:
+	if mode == flid.DS {
 		res.Name, res.Title = "fig7", "Protection with DELTA and SIGMA (FLID-DS)"
-		atk := flid.NewDSAttacker(f1Host, s1.Sess, l.d.Right.Addr(), l.d.RNG.Fork())
-		f2 := flid.NewDSReceiver(f2Host, s2.Sess, l.d.Right.Addr())
-		sched.At(0, func() { s1.Sender.Start(); s2.Sender.Start(); atk.Start(); f2.Start() })
-		sched.At(inflateAt, atk.Inflate)
-		sched.RunUntil(dur)
-		res.Series = []Series{
-			{Label: "F1", Points: atk.Meter.Series(SmoothenWin)},
-			{Label: "F2", Points: f2.Meter.Series(SmoothenWin)},
-		}
-		res.Notef("attacker submitted %d guessed keys", atk.GuessesSent)
+		res.Notef("attacker submitted %d guessed keys", atk.Unwrap().(*flid.DSAttacker).GuessesSent)
+	} else {
+		res.Name, res.Title = "fig1", "Impact of inflated subscription (FLID-DL)"
 	}
-	res.Series = append(res.Series,
-		Series{Label: "T1", Points: t1.Series(SmoothenWin)},
-		Series{Label: "T2", Points: t2.Series(SmoothenWin)},
-	)
+	res.Series = []Series{
+		series("F1", atk, SmoothenWin),
+		series("F2", f2, SmoothenWin),
+		{Label: "T1", Points: t1.Series(SmoothenWin)},
+		{Label: "T2", Points: t2.Series(SmoothenWin)},
+	}
 	res.Notef("inflation at t=%.0fs; fair share 250 Kbps per session", inflateAt.Sec())
 	return res
-}
-
-// addSessionWithoutReceivers builds a session (sender only); the figure
-// attaches its own receiver flavours.
-func (l *lab) addSessionWithoutReceivers(id uint16) *mcastSession {
-	return l.addSession(id, 0)
 }
 
 // Fig1 reproduces Figure 1: inflated subscription under plain FLID-DL

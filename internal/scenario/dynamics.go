@@ -3,7 +3,6 @@ package scenario
 import (
 	"fmt"
 
-	"deltasigma/internal/cbr"
 	"deltasigma/internal/flid"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/topo"
@@ -18,18 +17,11 @@ func responsivenessRun(opt Options, mode flid.Mode) Series {
 	off := opt.scale(75 * sim.Second)
 
 	l := newLab(topo.PaperConfig(1_000_000, opt.Seed), mode)
-	ms := l.addSession(1, 1)
-	csrc := l.d.AddSource("cbrsrc")
-	cdst := l.d.AddReceiver("cbrdst")
-	burst := cbr.New(csrc, cdst.Addr(), 900, 800_000, PacketSize)
-	l.finish()
+	ms := l.addSession(1)
+	l.e.AddCBR(800_000, 0, 0).Burst(on, off)
+	l.e.Run(dur)
 
-	l.d.Sched.At(0, func() { ms.Sender.Start(); ms.StartReceiver(0) })
-	l.d.Sched.At(on, burst.Start)
-	l.d.Sched.At(off, burst.Stop)
-	l.d.Sched.RunUntil(dur)
-
-	return Series{Label: mode.String(), Points: ms.Meter(0).Series(SmoothenWin)}
+	return series(protoName(mode), ms.Receivers[0], SmoothenWin)
 }
 
 // Fig8e reproduces Figure 8(e): FLID-DS backs off and recovers around the
@@ -37,6 +29,7 @@ func responsivenessRun(opt Options, mode flid.Mode) Series {
 func Fig8e(opt Options) *Result {
 	dl := responsivenessRun(opt, flid.DL)
 	ds := responsivenessRun(opt, flid.DS)
+	dl.Label, ds.Label = "FLID-DL", "FLID-DS"
 	r := &Result{
 		Name:   "fig8e",
 		Title:  "Responsiveness to an 800 Kbps on-off CBR burst",
@@ -58,7 +51,7 @@ func rttRun(opt Options, mode flid.Mode) Curve {
 	cfg.BottleneckDelay = 5 * sim.Millisecond
 	l := newLab(cfg, mode)
 
-	ms := l.addSessionWithoutReceivers(1)
+	ms := l.addSession(0)
 	rtts := make([]float64, nRecv)
 	for i := 0; i < nRecv; i++ {
 		// RTT_i spreads 30..220 ms: RTT = 2·(10ms + 5ms + access).
@@ -68,23 +61,14 @@ func rttRun(opt Options, mode flid.Mode) Curve {
 		if access < 0 {
 			access = 0
 		}
-		host := l.d.AddReceiverDelay(fmt.Sprintf("r%02d", i), access)
-		l.attachReceiver(ms, host)
+		ms.AddReceiverDelay(access)
 	}
-	l.finish()
-
-	l.d.Sched.At(0, func() {
-		ms.Sender.Start()
-		for i := 0; i < nRecv; i++ {
-			ms.StartReceiver(i)
-		}
-	})
-	l.d.Sched.RunUntil(dur)
+	l.e.Run(dur)
 
 	var c Curve
 	c.Label = fmt.Sprintf("Average %s rates", mode)
 	for i := 0; i < nRecv; i++ {
-		c.Points = append(c.Points, XY{X: rtts[i], Y: ms.Meter(i).AvgKbps(warmup, dur)})
+		c.Points = append(c.Points, XY{X: rtts[i], Y: ms.Receivers[i].Meter().AvgKbps(warmup, dur)})
 	}
 	return c
 }
@@ -106,34 +90,21 @@ func Fig8f(opt Options) *Result {
 func convergenceRun(opt Options, mode flid.Mode) *Result {
 	dur := opt.scale(40 * sim.Second)
 	l := newLab(topo.PaperConfig(FairShare, opt.Seed), mode)
-	ms := l.addSession(1, 4)
-	l.finish()
-
-	l.d.Sched.At(0, ms.Sender.Start)
-	for i := 0; i < 4; i++ {
-		i := i
-		l.d.Sched.At(opt.scale(sim.Time(i)*10*sim.Second), func() { ms.StartReceiver(i) })
+	ms := l.addSession(4)
+	for i, r := range ms.Receivers {
+		r.StartAt(opt.scale(sim.Time(i) * 10 * sim.Second))
 	}
-	l.d.Sched.RunUntil(dur)
+	l.e.Run(dur)
 
 	name, title := "fig8g", "Subscription convergence in FLID-DL"
 	if mode == flid.DS {
 		name, title = "fig8h", "Subscription convergence in FLID-DS"
 	}
 	res := &Result{Name: name, Title: title}
-	for i := 0; i < 4; i++ {
-		res.Series = append(res.Series, Series{
-			Label:  fmt.Sprintf("Receiver %d", i+1),
-			Points: ms.Meter(i).Series(3),
-		})
-	}
-	lv := make([]int, 4)
-	for i := range lv {
-		if mode == flid.DS {
-			lv[i] = ms.RecvDS[i].Level()
-		} else {
-			lv[i] = ms.RecvDL[i].Level()
-		}
+	lv := make([]int, len(ms.Receivers))
+	for i, r := range ms.Receivers {
+		res.Series = append(res.Series, series(fmt.Sprintf("Receiver %d", i+1), r, 3))
+		lv[i] = r.Level()
 	}
 	res.Notef("final levels: %v", lv)
 	return res

@@ -1,9 +1,9 @@
 package scenario
 
 import (
+	"deltasigma"
 	"deltasigma/internal/core"
 	"deltasigma/internal/flid"
-	"deltasigma/internal/packet"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/topo"
 )
@@ -38,30 +38,18 @@ func runOverheadPoint(opt Options, n int, slotDur sim.Time) overheadPoint {
 	}
 
 	// Uncongested topology: overhead is a property of the sender's
-	// emission, not of contention.
-	cfg := topo.PaperConfig(20_000_000, opt.Seed+uint64(n)+uint64(slotDur))
-	l := newLab(cfg, flid.DS)
-
-	sess := &core.Session{
-		ID:         1,
-		BaseAddr:   packet.MulticastBase,
-		Rates:      core.ScheduleForTotal(overheadBase, overheadTotal, n),
-		SlotDur:    slotDur,
-		PacketSize: overheadPktBytes,
-	}
-	src := l.d.AddSource("src")
-	for _, a := range sess.Addrs() {
-		l.d.Fabric.SetSource(a, src.ID())
-	}
-	// One receiver keeps the edge on the tree so announces traverse it.
-	host := l.d.AddReceiver("r")
-	policy := core.PeriodicUpgrades{Factor: 2, N: n}
-	snd := flid.NewSender(src, sess, flid.DS, policy, l.d.RNG.Fork(), nil, fecExpansion)
-	l.finish()
-	rcv := flid.NewDSReceiver(host, sess, l.d.Right.Addr())
-
-	l.d.Sched.At(0, func() { snd.Start(); rcv.Start() })
-	l.d.Sched.RunUntil(dur)
+	// emission, not of contention. One receiver keeps the edge on the
+	// tree so announces traverse it.
+	e := deltasigma.MustNew(
+		deltasigma.WithDumbbellConfig(topo.PaperConfig(20_000_000, opt.Seed+uint64(n)+uint64(slotDur))),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSchedule(core.ScheduleForTotal(overheadBase, overheadTotal, n)),
+		deltasigma.WithSlot(slotDur),
+		deltasigma.WithPacketSize(overheadPktBytes),
+	)
+	sess := e.AddSession(1)
+	e.Run(dur)
+	snd := sess.Sender.(*flid.Sender)
 
 	pt := overheadPoint{N: n, T: slotDur}
 

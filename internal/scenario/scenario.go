@@ -8,20 +8,19 @@
 // bottleneck delay, 10 ms / 10 Mbps side links, buffers of two
 // bandwidth-delay products, 10 groups starting at 100 Kbps growing ×1.5,
 // 576-byte data packets, 500 ms FLID-DL slots and 250 ms FLID-DS slots.
+//
+// Every experiment is assembled through the public deltasigma facade —
+// the same options API users build on — so the figures double as an
+// integration test of that surface.
 package scenario
 
 import (
 	"fmt"
 
-	"deltasigma/internal/core"
+	"deltasigma"
 	"deltasigma/internal/flid"
-	"deltasigma/internal/mcast"
-	"deltasigma/internal/netsim"
-	"deltasigma/internal/packet"
-	"deltasigma/internal/sigma"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/stats"
-	"deltasigma/internal/tcp"
 	"deltasigma/internal/topo"
 )
 
@@ -100,126 +99,44 @@ func SeriesAvg(s Series, from, to float64) float64 {
 	return sum / float64(n)
 }
 
-// sessionSpacing keeps each session's group block apart in address space.
-const sessionSpacing = 32
-
-// newSession builds a paper-standard session descriptor.
-func newSession(id uint16, slot sim.Time) *core.Session {
-	return &core.Session{
-		ID:         id,
-		BaseAddr:   packet.MulticastBase + packet.Addr(int(id)*sessionSpacing),
-		Rates:      core.PaperSchedule(),
-		SlotDur:    slot,
-		PacketSize: PacketSize,
-	}
-}
-
-// slotFor returns the paper's slot duration for a mode: 500 ms for FLID-DL
-// and 250 ms for FLID-DS, preserving the 500 ms control granularity through
-// SIGMA's two-slot enforcement (§5.1).
-func slotFor(mode flid.Mode) sim.Time {
+// protoName maps a flid mode to its facade registry name.
+func protoName(mode flid.Mode) string {
 	if mode == flid.DS {
-		return SlotDS
+		return "flid-ds"
 	}
-	return SlotDL
+	return "flid-dl"
 }
 
-// mcastSession wires one complete multicast session onto a dumbbell.
-type mcastSession struct {
-	Sess   *core.Session
-	Sender *flid.Sender
-	// DL receivers and DS receivers (one of the two is populated).
-	RecvDL []*flid.Receiver
-	RecvDS []*flid.DSReceiver
-}
-
-// Meter returns the throughput meter of receiver i.
-func (m *mcastSession) Meter(i int) *stats.Meter {
-	if len(m.RecvDL) > 0 {
-		return m.RecvDL[i].Meter
-	}
-	return m.RecvDS[i].Meter
-}
-
-// StartReceiver starts receiver i.
-func (m *mcastSession) StartReceiver(i int) {
-	if len(m.RecvDL) > 0 {
-		m.RecvDL[i].Start()
-	} else {
-		m.RecvDS[i].Start()
-	}
-}
-
-// lab assembles an experiment: dumbbell + gatekeeper + sessions + cross
-// traffic, with uniform wiring so every figure shares the same setup code.
+// lab is the figures' shared wiring helper. Since the facade redesign it
+// is a thin veneer over the public experiment builder: every figure
+// constructs its setup exclusively through deltasigma.New and the
+// Add{Session,Receiver,Attacker,TCP,CBR} surface.
 type lab struct {
-	d    *topo.Dumbbell
-	mode flid.Mode
-	ctl  *sigma.Controller
-	igmp *mcast.IGMP
-
-	sessions []*mcastSession
-	tcpRecv  []*tcp.Receiver
-	tcpMeter []*stats.Meter
+	e *deltasigma.Experiment
 }
 
-// newLab builds the dumbbell and installs the right gatekeeper for mode.
+// newLab builds an experiment on a dumbbell with the given configuration
+// and protocol mode.
 func newLab(cfg topo.Config, mode flid.Mode) *lab {
-	l := &lab{d: topo.New(cfg), mode: mode}
-	return l
+	return &lab{e: deltasigma.MustNew(
+		deltasigma.WithDumbbellConfig(cfg),
+		deltasigma.WithProtocol(protoName(mode)),
+		deltasigma.WithSeed(cfg.Seed),
+	)}
 }
 
-// finish completes wiring after all hosts exist; must be called once.
-func (l *lab) finish() {
-	l.d.Done()
-	if l.mode == flid.DS {
-		l.ctl = sigma.NewController(l.d.Right, sigma.DefaultConfig(SlotDS))
-	} else {
-		l.igmp = mcast.NewIGMP(l.d.Right)
-	}
-}
-
-// addSession creates session id with nRecv receivers (with default access
-// delay); receivers are built but not started.
-func (l *lab) addSession(id uint16, nRecv int) *mcastSession {
-	slot := slotFor(l.mode)
-	sess := newSession(id, slot)
-	src := l.d.AddSource(fmt.Sprintf("src%d", id))
-	for _, a := range sess.Addrs() {
-		l.d.Fabric.SetSource(a, src.ID())
-	}
-	policy := core.PeriodicUpgrades{Factor: 2, N: sess.Rates.N}
-	ms := &mcastSession{Sess: sess}
-	ms.Sender = flid.NewSender(src, sess, l.mode, policy, l.d.RNG.Fork(), nil, 2)
-	for i := 0; i < nRecv; i++ {
-		host := l.d.AddReceiver(fmt.Sprintf("r%d_%d", id, i))
-		l.attachReceiver(ms, host)
-	}
-	l.sessions = append(l.sessions, ms)
-	return ms
-}
-
-// attachReceiver builds a receiver of the right mode on host.
-func (l *lab) attachReceiver(ms *mcastSession, host *netsim.Host) {
-	if l.mode == flid.DS {
-		ms.RecvDS = append(ms.RecvDS, flid.NewDSReceiver(host, ms.Sess, l.d.Right.Addr()))
-	} else {
-		ms.RecvDL = append(ms.RecvDL, flid.NewReceiver(host, ms.Sess, l.d.Right.Addr()))
-	}
+// addSession creates a session with nRecv receivers at the default egress.
+func (l *lab) addSession(nRecv int) *deltasigma.ExperimentSession {
+	return l.e.AddSession(nRecv)
 }
 
 // addTCP creates one TCP Reno connection crossing the bottleneck and
 // returns its throughput meter; the sender starts at `at`.
-func (l *lab) addTCP(flow uint32, at sim.Time) *stats.Meter {
-	src := l.d.AddSource(fmt.Sprintf("tsrc%d", flow))
-	dst := l.d.AddReceiver(fmt.Sprintf("tdst%d", flow))
-	cfg := tcp.DefaultConfig()
-	recv := tcp.NewReceiver(dst, flow, cfg)
-	meter := stats.NewMeter(sim.Second)
-	recv.OnDeliver = func(bytes int) { meter.Add(l.d.Sched.Now(), bytes) }
-	snd := tcp.NewSender(src, dst.Addr(), flow, cfg)
-	l.d.Sched.At(at, snd.Start)
-	l.tcpRecv = append(l.tcpRecv, recv)
-	l.tcpMeter = append(l.tcpMeter, meter)
-	return meter
+func (l *lab) addTCP(at sim.Time) *stats.Meter {
+	return l.e.AddTCP(at).Meter()
+}
+
+// series extracts a receiver's smoothed throughput series.
+func series(label string, r *deltasigma.Receiver, window int) Series {
+	return Series{Label: label, Points: r.Meter().Series(window)}
 }

@@ -1,7 +1,7 @@
 package scenario
 
 import (
-	"deltasigma/internal/cbr"
+	"deltasigma"
 	"deltasigma/internal/flid"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/stats"
@@ -34,32 +34,22 @@ func throughputRun(opt Options, mode flid.Mode, m int, cross bool) (indiv []floa
 	capacity := FairShare * nSessions
 	l := newLab(topo.PaperConfig(capacity, opt.Seed+uint64(m)*17), mode)
 
+	sessions := make([]*deltasigma.ExperimentSession, 0, m)
 	for i := 0; i < m; i++ {
-		l.addSession(uint16(i+1), 1)
+		sessions = append(sessions, l.addSession(1))
 	}
 	if cross {
 		for i := 0; i < m; i++ {
-			l.addTCP(uint32(i+1), sim.Time(i)*100*sim.Millisecond)
+			l.addTCP(sim.Time(i) * 100 * sim.Millisecond)
 		}
 		// The on-off CBR session transmits at 10% of the bottleneck
 		// capacity with 5-second on and off periods (§5.3).
-		csrc := l.d.AddSource("cbrsrc")
-		cdst := l.d.AddReceiver("cbrdst")
-		c := cbr.New(csrc, cdst.Addr(), 900, capacity/10, PacketSize)
-		c.OnPeriod = 5 * sim.Second
-		c.OffPeriod = 5 * sim.Second
-		l.d.Sched.At(0, c.Start)
+		l.e.AddCBR(capacity/10, 5*sim.Second, 5*sim.Second)
 	}
-	l.finish()
+	l.e.Run(dur)
 
-	for _, ms := range l.sessions {
-		ms := ms
-		l.d.Sched.At(0, func() { ms.Sender.Start(); ms.StartReceiver(0) })
-	}
-	l.d.Sched.RunUntil(dur)
-
-	for _, ms := range l.sessions {
-		indiv = append(indiv, ms.Meter(0).AvgKbps(warmup, dur))
+	for _, s := range sessions {
+		indiv = append(indiv, s.Receivers[0].Meter().AvgKbps(warmup, dur))
 	}
 	return indiv, stats.Mean(indiv)
 }

@@ -1,0 +1,94 @@
+package sigma
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/keys"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// GuessAttack is the shared engine of every inflated-subscription attacker
+// against a SIGMA-protected session (§4.2): once inflated, it sends plain
+// IGMP joins for every group (which a SIGMA edge ignores) and, late in
+// each slot — after the edge holds the slot's announced keys, since
+// guesses against an empty key store are wasted — submits GuessesPerSlot
+// random key guesses per group above the attacker's entitled level.
+// Protocol attackers embed a GuessAttack beside their legitimate receiver;
+// entitled reports that receiver's current level (or group).
+type GuessAttack struct {
+	sess     *core.Session
+	host     *netsim.Host
+	client   *Client
+	igmp     *mcast.Client
+	entitled func() int
+	rng      *sim.RNG
+
+	// GuessesPerSlot is y: how many random keys per group per slot the
+	// attacker can afford to submit.
+	GuessesPerSlot int
+
+	inflated bool
+	// GuessesSent counts submitted key guesses.
+	GuessesSent uint64
+}
+
+// NewGuessAttack builds the engine on host against the edge at routerAddr,
+// submitting guesses through client on behalf of a receiver whose current
+// entitlement entitled reports.
+func NewGuessAttack(host *netsim.Host, sess *core.Session, routerAddr packet.Addr, client *Client, entitled func() int, rng *sim.RNG) *GuessAttack {
+	return &GuessAttack{
+		sess:           sess,
+		host:           host,
+		client:         client,
+		igmp:           mcast.NewClient(host, routerAddr),
+		entitled:       entitled,
+		rng:            rng,
+		GuessesPerSlot: 16,
+	}
+}
+
+// Inflate begins the inflation attempts.
+func (a *GuessAttack) Inflate() {
+	if a.inflated {
+		return
+	}
+	a.inflated = true
+	// Plain IGMP joins: a SIGMA edge router confers nothing for them.
+	for g := 1; g <= a.sess.Rates.N; g++ {
+		a.igmp.Join(a.sess.GroupAddr(g))
+	}
+	a.attackSlot()
+}
+
+// Inflated reports whether the attack is active.
+func (a *GuessAttack) Inflated() bool { return a.inflated }
+
+// keyMask keeps guesses within the b-bit key space of the evaluation.
+const keyMask = keys.Key(1)<<keys.DefaultBits - 1
+
+func (a *GuessAttack) attackSlot() {
+	if !a.inflated {
+		return
+	}
+	sched := a.host.Scheduler()
+	cur := a.sess.SlotAt(sched.Now())
+	// Submit guessed keys for every group above the entitled level, for
+	// the next access slot.
+	target := core.AccessSlot(cur)
+	pairs := make([]packet.AddrKey, 0, a.sess.Rates.N*a.GuessesPerSlot)
+	for g := a.entitled() + 1; g <= a.sess.Rates.N; g++ {
+		for i := 0; i < a.GuessesPerSlot; i++ {
+			pairs = append(pairs, packet.AddrKey{
+				Addr: a.sess.GroupAddr(g),
+				Key:  keys.Key(a.rng.Uint64()) & keyMask,
+			})
+			a.GuessesSent++
+		}
+	}
+	if len(pairs) > 0 {
+		a.client.Subscribe(target, pairs)
+	}
+	sched.At(a.sess.SlotStart(cur+1)+7*a.sess.SlotDur/10, func() { a.attackSlot() })
+}

@@ -48,8 +48,8 @@ func (m *Meter) RateKbps(idx int) float64 {
 
 // Point is one sample of a rate series.
 type Point struct {
-	T    float64 // seconds
-	Kbps float64
+	T    float64 `json:"t"` // seconds
+	Kbps float64 `json:"kbps"`
 }
 
 // Series renders the meter as a rate series smoothed with a centred moving

@@ -1,0 +1,29 @@
+package threshold
+
+import (
+	"deltasigma/internal/core"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
+)
+
+// Attacker attacks a protected threshold session: it keeps a legitimate
+// receiver running at its entitled level while running the shared
+// sigma.GuessAttack engine above it. Against the Shamir instantiation a
+// guess must hit the reconstructed level key exactly, so the success
+// probability per guess is 2^−b just as for FLID-DS.
+type Attacker struct {
+	*Receiver
+	*sigma.GuessAttack
+}
+
+// NewAttacker builds a threshold-protocol attacker on host; thresh must
+// match the sender's.
+func NewAttacker(host *netsim.Host, sess *core.Session, thresh []float64, routerAddr packet.Addr, rng *sim.RNG) *Attacker {
+	r := NewReceiver(host, sess, thresh, routerAddr)
+	return &Attacker{
+		Receiver:    r,
+		GuessAttack: sigma.NewGuessAttack(host, sess, routerAddr, r.client, r.Level, rng),
+	}
+}

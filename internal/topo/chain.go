@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"fmt"
+
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/sim"
+)
+
+// ChainConfig parameterizes a chain.
+type ChainConfig struct {
+	// Bottlenecks holds the capacity in bits/s of each inter-router link,
+	// ingress to egress. len(Bottlenecks) >= 1.
+	Bottlenecks []int64
+	// BottleneckDelay is each inter-router link's propagation delay
+	// (default 20 ms).
+	BottleneckDelay sim.Time
+	// SideRate is each access link's capacity (default 10 Mbps).
+	SideRate int64
+	// SideDelay is each access link's propagation delay (default 10 ms).
+	SideDelay sim.Time
+	// BDPFactor scales the derived queues (default 2 per §5.1).
+	BDPFactor float64
+	// Seed drives all experiment randomness.
+	Seed uint64
+}
+
+func (c *ChainConfig) defaults() {
+	sideDefaults(&c.BottleneckDelay, &c.SideRate, &c.SideDelay, &c.BDPFactor)
+}
+
+// Chain is a multi-bottleneck parking-lot topology: routers R0 … Rk joined
+// by k inter-router links, each an independent bottleneck with its own
+// capacity and drop-tail queue. Sources attach at R0; receivers attach
+// behind any of R1 … Rk (the far end by default), so a far receiver's
+// traffic crosses every bottleneck while a near receiver competes only on
+// the first hops.
+type Chain struct {
+	Sched  *sim.Scheduler
+	RNG    *sim.RNG
+	Net    *netsim.Network
+	Fabric *mcast.Fabric
+	// Routers holds R0 … Rk, ingress first.
+	Routers []*mcast.Router
+	// Forward holds the k ingress→egress inter-router links (the
+	// bottlenecks), in hop order.
+	Forward []*netsim.Link
+
+	cfg      ChainConfig
+	nHosts   int
+	edges    edgeSet
+	finished bool
+}
+
+var _ Topology = (*Chain)(nil)
+
+// NewChain builds the chain.
+func NewChain(cfg ChainConfig) *Chain {
+	if len(cfg.Bottlenecks) == 0 {
+		panic("topo: chain needs at least one bottleneck")
+	}
+	for _, r := range cfg.Bottlenecks {
+		if r <= 0 {
+			panic("topo: chain bottleneck rates must be positive")
+		}
+	}
+	cfg.defaults()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	net := netsim.New(sched, rng)
+	c := &Chain{Sched: sched, RNG: rng, Net: net, Fabric: mcast.NewFabric(net), cfg: cfg}
+	for i := 0; i <= len(cfg.Bottlenecks); i++ {
+		c.Routers = append(c.Routers, mcast.NewRouter(net, c.Fabric, fmt.Sprintf("r%d", i)))
+	}
+	// End-to-end RTT over all hops (c.RTT() would see zero hops here).
+	rtt := 2 * (cfg.SideDelay + sim.Time(len(cfg.Bottlenecks))*cfg.BottleneckDelay + cfg.SideDelay)
+	for i, rate := range cfg.Bottlenecks {
+		q := bdpQueue(cfg.BDPFactor, rate, rtt, 0)
+		fwd, _ := net.Connect(c.Routers[i], c.Routers[i+1], rate, cfg.BottleneckDelay, q)
+		c.Forward = append(c.Forward, fwd)
+	}
+	return c
+}
+
+// Hops returns the number of bottleneck links.
+func (c *Chain) Hops() int { return len(c.Forward) }
+
+// RTT returns the end-to-end round-trip propagation time for default-delay
+// hosts at the far end.
+func (c *Chain) RTT() sim.Time {
+	return 2 * (c.cfg.SideDelay + sim.Time(c.Hops())*c.cfg.BottleneckDelay + c.cfg.SideDelay)
+}
+
+// Scheduler implements Topology.
+func (c *Chain) Scheduler() *sim.Scheduler { return c.Sched }
+
+// Rand implements Topology.
+func (c *Chain) Rand() *sim.RNG { return c.RNG }
+
+// Network implements Topology.
+func (c *Chain) Network() *netsim.Network { return c.Net }
+
+// Multicast implements Topology.
+func (c *Chain) Multicast() *mcast.Fabric { return c.Fabric }
+
+// AttachSource implements Topology: sources feed the ingress router.
+func (c *Chain) AttachSource(name string) *netsim.Host {
+	c.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("src%d", c.nHosts)
+	}
+	return attachHost(c.Net, name, c.Routers[0], c.cfg.SideRate, c.cfg.SideDelay, c.RTT(), c.cfg.BDPFactor)
+}
+
+// AttachReceiver implements Topology: the default egress is the far-end
+// router, downstream of every bottleneck.
+func (c *Chain) AttachReceiver(name string, delay sim.Time) Port {
+	return c.AttachReceiverAt(c.Hops(), name, delay)
+}
+
+// AttachReceiverAt adds a receiver behind router `hop` (1 … Hops()), i.e.
+// downstream of the first `hop` bottlenecks.
+func (c *Chain) AttachReceiverAt(hop int, name string, delay sim.Time) Port {
+	if hop < 1 || hop > c.Hops() {
+		panic(fmt.Sprintf("topo: chain hop %d out of range 1..%d", hop, c.Hops()))
+	}
+	if delay < 0 {
+		delay = c.cfg.SideDelay
+	}
+	c.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("rcv%d", c.nHosts)
+	}
+	edge := c.Routers[hop]
+	h := attachHost(c.Net, name, edge, c.cfg.SideRate, delay, c.RTT(), c.cfg.BDPFactor)
+	edge.AttachLocal(h)
+	c.edges.add(edge)
+	return Port{Host: h, Edge: edge}
+}
+
+// Edges implements Topology: every router with attached receivers.
+func (c *Chain) Edges() []*mcast.Router { return c.edges.list }
+
+// Bottlenecks implements Topology.
+func (c *Chain) Bottlenecks() []*netsim.Link { return c.Forward }
+
+// Finish implements Topology.
+func (c *Chain) Finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.Net.ComputeRoutes()
+}

@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"fmt"
+
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/sim"
+)
+
+// StarConfig parameterizes a star.
+type StarConfig struct {
+	// Spokes holds the capacity in bits/s of each hub→edge link; one edge
+	// router (and one potential SIGMA gatekeeper) per entry.
+	Spokes []int64
+	// SpokeDelay is each hub→edge link's propagation delay (default 20 ms).
+	SpokeDelay sim.Time
+	// SideRate is each access link's capacity (default 10 Mbps).
+	SideRate int64
+	// SideDelay is each access link's propagation delay (default 10 ms).
+	SideDelay sim.Time
+	// BDPFactor scales the derived queues (default 2 per §5.1).
+	BDPFactor float64
+	// Seed drives all experiment randomness.
+	Seed uint64
+}
+
+func (c *StarConfig) defaults() {
+	sideDefaults(&c.SpokeDelay, &c.SideRate, &c.SideDelay, &c.BDPFactor)
+}
+
+// Star is a hub-and-spoke topology: sources feed a central hub router, and
+// each spoke is an independent bottleneck link down to its own edge router
+// with its own gatekeeper. Receivers attach behind the edges (round-robin
+// by default), so one multicast transmission fans out across spokes of
+// different capacities — each edge enforces SIGMA independently, the
+// incremental-deployment picture of §3.2.3.
+type Star struct {
+	Sched  *sim.Scheduler
+	RNG    *sim.RNG
+	Net    *netsim.Network
+	Fabric *mcast.Fabric
+	// Hub is the central router sources feed.
+	Hub *mcast.Router
+	// EdgeRouters holds one edge router per spoke.
+	EdgeRouters []*mcast.Router
+	// Forward holds the hub→edge bottleneck links, spoke order.
+	Forward []*netsim.Link
+
+	cfg      StarConfig
+	nHosts   int
+	next     int // round-robin spoke for AttachReceiver
+	edges    edgeSet
+	finished bool
+}
+
+var _ Topology = (*Star)(nil)
+
+// NewStar builds the star.
+func NewStar(cfg StarConfig) *Star {
+	if len(cfg.Spokes) == 0 {
+		panic("topo: star needs at least one spoke")
+	}
+	for _, r := range cfg.Spokes {
+		if r <= 0 {
+			panic("topo: star spoke rates must be positive")
+		}
+	}
+	cfg.defaults()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	net := netsim.New(sched, rng)
+	s := &Star{Sched: sched, RNG: rng, Net: net, Fabric: mcast.NewFabric(net), cfg: cfg}
+	s.Hub = mcast.NewRouter(net, s.Fabric, "hub")
+	rtt := s.RTT()
+	for i, rate := range cfg.Spokes {
+		edge := mcast.NewRouter(net, s.Fabric, fmt.Sprintf("edge%d", i))
+		s.EdgeRouters = append(s.EdgeRouters, edge)
+		q := bdpQueue(cfg.BDPFactor, rate, rtt, 0)
+		fwd, _ := net.Connect(s.Hub, edge, rate, cfg.SpokeDelay, q)
+		s.Forward = append(s.Forward, fwd)
+	}
+	return s
+}
+
+// Spokes returns the number of spokes.
+func (s *Star) Spokes() int { return len(s.Forward) }
+
+// RTT returns the round-trip propagation time between a default-delay
+// source and a default-delay receiver.
+func (s *Star) RTT() sim.Time {
+	return 2 * (s.cfg.SideDelay + s.cfg.SpokeDelay + s.cfg.SideDelay)
+}
+
+// Scheduler implements Topology.
+func (s *Star) Scheduler() *sim.Scheduler { return s.Sched }
+
+// Rand implements Topology.
+func (s *Star) Rand() *sim.RNG { return s.RNG }
+
+// Network implements Topology.
+func (s *Star) Network() *netsim.Network { return s.Net }
+
+// Multicast implements Topology.
+func (s *Star) Multicast() *mcast.Fabric { return s.Fabric }
+
+// AttachSource implements Topology: sources feed the hub.
+func (s *Star) AttachSource(name string) *netsim.Host {
+	s.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("src%d", s.nHosts)
+	}
+	return attachHost(s.Net, name, s.Hub, s.cfg.SideRate, s.cfg.SideDelay, s.RTT(), s.cfg.BDPFactor)
+}
+
+// AttachReceiver implements Topology: receivers round-robin across spokes.
+func (s *Star) AttachReceiver(name string, delay sim.Time) Port {
+	spoke := s.next
+	s.next = (s.next + 1) % s.Spokes()
+	return s.AttachReceiverAt(spoke, name, delay)
+}
+
+// AttachReceiverAt adds a receiver behind the edge router of spoke
+// (0 … Spokes()−1).
+func (s *Star) AttachReceiverAt(spoke int, name string, delay sim.Time) Port {
+	if spoke < 0 || spoke >= s.Spokes() {
+		panic(fmt.Sprintf("topo: star spoke %d out of range 0..%d", spoke, s.Spokes()-1))
+	}
+	if delay < 0 {
+		delay = s.cfg.SideDelay
+	}
+	s.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("rcv%d", s.nHosts)
+	}
+	edge := s.EdgeRouters[spoke]
+	h := attachHost(s.Net, name, edge, s.cfg.SideRate, delay, s.RTT(), s.cfg.BDPFactor)
+	edge.AttachLocal(h)
+	s.edges.add(edge)
+	return Port{Host: h, Edge: edge}
+}
+
+// Edges implements Topology: every edge router with attached receivers.
+func (s *Star) Edges() []*mcast.Router { return s.edges.list }
+
+// Bottlenecks implements Topology.
+func (s *Star) Bottlenecks() []*netsim.Link { return s.Forward }
+
+// Finish implements Topology.
+func (s *Star) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.Net.ComputeRoutes()
+}

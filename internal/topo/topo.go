@@ -63,8 +63,51 @@ type Dumbbell struct {
 	// Reverse is the right→left bottleneck link (ACK path).
 	Reverse *netsim.Link
 
-	cfg    Config
-	nHosts int
+	cfg      Config
+	nHosts   int
+	finished bool
+}
+
+// Dumbbell implements Topology.
+var _ Topology = (*Dumbbell)(nil)
+
+// Scheduler implements Topology.
+func (d *Dumbbell) Scheduler() *sim.Scheduler { return d.Sched }
+
+// Rand implements Topology.
+func (d *Dumbbell) Rand() *sim.RNG { return d.RNG }
+
+// Network implements Topology.
+func (d *Dumbbell) Network() *netsim.Network { return d.Net }
+
+// Multicast implements Topology.
+func (d *Dumbbell) Multicast() *mcast.Fabric { return d.Fabric }
+
+// AttachSource implements Topology.
+func (d *Dumbbell) AttachSource(name string) *netsim.Host { return d.AddSource(name) }
+
+// AttachReceiver implements Topology: receivers live behind the right edge
+// router.
+func (d *Dumbbell) AttachReceiver(name string, delay sim.Time) Port {
+	if delay < 0 {
+		delay = d.cfg.SideDelay
+	}
+	return Port{Host: d.AddReceiverDelay(name, delay), Edge: d.Right}
+}
+
+// Edges implements Topology: the right router gatekeeps every receiver.
+func (d *Dumbbell) Edges() []*mcast.Router { return []*mcast.Router{d.Right} }
+
+// Bottlenecks implements Topology: the forward middle link.
+func (d *Dumbbell) Bottlenecks() []*netsim.Link { return []*netsim.Link{d.Forward} }
+
+// Finish implements Topology (idempotent Done).
+func (d *Dumbbell) Finish() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	d.Done()
 }
 
 // RTT returns the end-to-end round-trip propagation time for default-delay

@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/sim"
+)
+
+// DefaultDelay passed as an access delay selects the topology's default
+// side delay; zero is a genuine zero-delay link.
+const DefaultDelay sim.Time = -1
+
+// Port is a receiver attachment point: the host plus the edge router that
+// gatekeeps its local interface. Every SIGMA/IGMP control exchange of the
+// receiver goes to Edge.Addr().
+type Port struct {
+	Host *netsim.Host
+	Edge *mcast.Router
+}
+
+// Topology abstracts an assembled simulated network so experiments can run
+// unchanged on any shape: the paper's dumbbell, a multi-bottleneck chain, a
+// star with per-edge gatekeepers, or anything a caller builds. A topology
+// owns the scheduler, RNG, network and multicast fabric; experiments attach
+// hosts through it and never wire links themselves.
+type Topology interface {
+	// Scheduler returns the virtual clock everything runs on.
+	Scheduler() *sim.Scheduler
+	// Rand returns the topology's root RNG (fork it per agent).
+	Rand() *sim.RNG
+	// Network returns the underlying link-level network.
+	Network() *netsim.Network
+	// Multicast returns the group-distribution fabric.
+	Multicast() *mcast.Fabric
+	// AttachSource adds a sender host at the topology's ingress.
+	AttachSource(name string) *netsim.Host
+	// AttachReceiver adds a receiver host at the topology's default egress
+	// with the given access-link delay (negative — DefaultDelay — selects
+	// the topology default) and returns it together with its gatekeeping
+	// edge router.
+	AttachReceiver(name string, delay sim.Time) Port
+	// Edges lists every router that gatekeeps at least one attached
+	// receiver; experiments install one gatekeeper (SIGMA controller or
+	// IGMP) per edge.
+	Edges() []*mcast.Router
+	// Bottlenecks lists the congested forward links, for utilization and
+	// loss accounting.
+	Bottlenecks() []*netsim.Link
+	// Finish completes construction (routing tables); idempotent, called
+	// once all hosts are attached.
+	Finish()
+}
+
+// bdpQueue sizes a queue as factor × rate × rtt (the §5.1 two-BDP rule),
+// with a floor so access links never bottleneck on buffer space.
+func bdpQueue(factor float64, rate int64, rtt sim.Time, floor int) int {
+	q := int(factor * float64(rate) * rtt.Sec() / 8)
+	if q < floor {
+		q = floor
+	}
+	return q
+}
+
+// sideDefaults fills the §5.1 access-link and queue defaults shared by the
+// multi-router topology configs; hopDelay is the inter-router link delay.
+func sideDefaults(hopDelay *sim.Time, sideRate *int64, sideDelay *sim.Time, factor *float64) {
+	if *hopDelay <= 0 {
+		*hopDelay = 20 * sim.Millisecond
+	}
+	if *sideRate <= 0 {
+		*sideRate = 10_000_000
+	}
+	if *sideDelay <= 0 {
+		*sideDelay = 10 * sim.Millisecond
+	}
+	if *factor <= 0 {
+		*factor = 2
+	}
+}
+
+// edgeSet tracks the routers that gatekeep attached receivers, in
+// attachment order.
+type edgeSet struct {
+	list []*mcast.Router
+	seen map[*mcast.Router]bool
+}
+
+func (e *edgeSet) add(r *mcast.Router) {
+	if e.seen == nil {
+		e.seen = make(map[*mcast.Router]bool)
+	}
+	if !e.seen[r] {
+		e.seen[r] = true
+		e.list = append(e.list, r)
+	}
+}
+
+// attachHost creates a host and connects it to router over an access link
+// with a BDP-sized queue.
+func attachHost(net *netsim.Network, name string, router *mcast.Router, rate int64, delay, rtt sim.Time, factor float64) *netsim.Host {
+	h := net.AddHost(name)
+	net.Connect(h, router, rate, delay, bdpQueue(factor, rate, rtt, 1<<16))
+	return h
+}

@@ -1,0 +1,225 @@
+package deltasigma
+
+import (
+	"fmt"
+
+	"deltasigma/internal/topo"
+)
+
+// settings accumulates the functional options New applies.
+type settings struct {
+	seed     uint64
+	topology Topology                   // prebuilt; wins over topoFn
+	topoFn   func(seed uint64) Topology // deferred builder, seeded by New
+	protocol Protocol
+	schedule RateSchedule
+	slot     Time // 0 selects the protocol default
+	pktSize  int
+	ecnFrac  float64
+	err      error
+}
+
+// Option configures an Experiment under construction.
+type Option func(*settings)
+
+func (s *settings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WithSeed fixes the seed driving all experiment randomness (topology RNG,
+// sender jitter, DELTA key generation). The default is 1.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithTopology runs the experiment on a prebuilt topology. The topology's
+// own seed governs its RNG; WithSeed does not reach into it.
+func WithTopology(t Topology) Option {
+	return func(s *settings) {
+		if t == nil {
+			s.fail(fmt.Errorf("deltasigma: WithTopology(nil)"))
+			return
+		}
+		s.topology = t
+		s.topoFn = nil
+	}
+}
+
+// WithTopologyFunc defers topology construction until New has resolved the
+// experiment seed; fn receives that seed. This is the generic hook custom
+// topologies plug in through.
+func WithTopologyFunc(fn func(seed uint64) Topology) Option {
+	return func(s *settings) {
+		if fn == nil {
+			s.fail(fmt.Errorf("deltasigma: WithTopologyFunc(nil)"))
+			return
+		}
+		s.topology = nil
+		s.topoFn = fn
+	}
+}
+
+// checkCaps validates a capacity list so topology options honor New's
+// error contract instead of panicking inside the deferred builder.
+func checkCaps(opt string, caps []int64) error {
+	if len(caps) == 0 {
+		return fmt.Errorf("deltasigma: %s needs at least one capacity", opt)
+	}
+	for _, c := range caps {
+		if c <= 0 {
+			return fmt.Errorf("deltasigma: %s capacity %d must be positive", opt, c)
+		}
+	}
+	return nil
+}
+
+// WithDumbbell runs the experiment on the §5.1 dumbbell with the given
+// bottleneck capacity in bits/s. This is the default topology (at 1 Mbps)
+// when no topology option is given.
+func WithDumbbell(bottleneck int64) Option {
+	if err := checkCaps("WithDumbbell", []int64{bottleneck}); err != nil {
+		return func(s *settings) { s.fail(err) }
+	}
+	return WithTopologyFunc(func(seed uint64) Topology {
+		return topo.New(topo.PaperConfig(bottleneck, seed))
+	})
+}
+
+// WithDumbbellConfig runs the experiment on a fully parameterized
+// dumbbell. A zero cfg.Seed inherits the experiment seed.
+func WithDumbbellConfig(cfg DumbbellConfig) Option {
+	return WithTopologyFunc(func(seed uint64) Topology {
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		return topo.New(cfg)
+	})
+}
+
+// WithChain runs the experiment on a multi-bottleneck chain with the given
+// per-hop capacities in bits/s, ingress to egress; receivers attach at the
+// far end by default.
+func WithChain(capacities ...int64) Option {
+	caps := append([]int64(nil), capacities...)
+	if err := checkCaps("WithChain", caps); err != nil {
+		return func(s *settings) { s.fail(err) }
+	}
+	return WithTopologyFunc(func(seed uint64) Topology {
+		return topo.NewChain(topo.ChainConfig{Bottlenecks: caps, Seed: seed})
+	})
+}
+
+// WithChainConfig runs the experiment on a fully parameterized chain. A
+// zero cfg.Seed inherits the experiment seed.
+func WithChainConfig(cfg ChainConfig) Option {
+	return WithTopologyFunc(func(seed uint64) Topology {
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		return topo.NewChain(cfg)
+	})
+}
+
+// WithStar runs the experiment on a star with one bottleneck spoke (and
+// one gatekeeping edge router) per capacity; receivers round-robin across
+// the spokes.
+func WithStar(capacities ...int64) Option {
+	caps := append([]int64(nil), capacities...)
+	if err := checkCaps("WithStar", caps); err != nil {
+		return func(s *settings) { s.fail(err) }
+	}
+	return WithTopologyFunc(func(seed uint64) Topology {
+		return topo.NewStar(topo.StarConfig{Spokes: caps, Seed: seed})
+	})
+}
+
+// WithStarConfig runs the experiment on a fully parameterized star. A zero
+// cfg.Seed inherits the experiment seed.
+func WithStarConfig(cfg StarConfig) Option {
+	return WithTopologyFunc(func(seed uint64) Topology {
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		return topo.NewStar(cfg)
+	})
+}
+
+// WithProtocol selects a registered congestion control variant by name
+// (see Protocols for the list). The default is "flid-ds".
+func WithProtocol(name string) Option {
+	return func(s *settings) {
+		p, ok := LookupProtocol(name)
+		if !ok {
+			s.fail(fmt.Errorf("deltasigma: unknown protocol %q (registered: %v)", name, Protocols()))
+			return
+		}
+		s.protocol = p
+	}
+}
+
+// WithProtocolImpl runs the experiment on a Protocol instance directly,
+// registered or not — custom implementations and parameterized variants
+// (e.g. ThresholdProtocol with explicit tolerances) enter here.
+func WithProtocolImpl(p Protocol) Option {
+	return func(s *settings) {
+		if p == nil {
+			s.fail(fmt.Errorf("deltasigma: WithProtocolImpl(nil)"))
+			return
+		}
+		s.protocol = p
+	}
+}
+
+// WithSchedule overrides the rate schedule of every session the
+// experiment creates. The default is PaperSchedule.
+func WithSchedule(rs RateSchedule) Option {
+	return func(s *settings) {
+		if err := rs.Check(); err != nil {
+			s.fail(err)
+			return
+		}
+		s.schedule = rs
+	}
+}
+
+// WithSlot overrides the slot duration of every session the experiment
+// creates. The default is the protocol's DefaultSlot.
+func WithSlot(d Time) Option {
+	return func(s *settings) {
+		if d <= 0 {
+			s.fail(fmt.Errorf("deltasigma: WithSlot(%v) must be positive", d))
+			return
+		}
+		s.slot = d
+	}
+}
+
+// WithPacketSize overrides the wire size of data packets in bytes. The
+// default is the paper's 576.
+func WithPacketSize(bytes int) Option {
+	return func(s *settings) {
+		if bytes <= 0 {
+			s.fail(fmt.Errorf("deltasigma: WithPacketSize(%d) must be positive", bytes))
+			return
+		}
+		s.pktSize = bytes
+	}
+}
+
+// WithECN turns on threshold ECN marking at every bottleneck queue:
+// packets enqueued beyond markFraction of the queue capacity are CE-marked
+// instead of relying on loss alone, and protected experiments scrub the
+// DELTA component of marked packets at the edge (§3.1.2 congestion
+// notification — a mark denies keys exactly like a loss, but no data is
+// thrown away).
+func WithECN(markFraction float64) Option {
+	return func(s *settings) {
+		if markFraction <= 0 || markFraction >= 1 {
+			s.fail(fmt.Errorf("deltasigma: WithECN(%v) must be in (0,1)", markFraction))
+			return
+		}
+		s.ecnFrac = markFraction
+	}
+}

@@ -1,0 +1,145 @@
+package deltasigma
+
+// resultWindow is the moving-average window (in one-second bins) applied
+// to result time series, matching the paper's 5-second smoothing.
+const resultWindow = 5
+
+// ReceiverResult is one receiver's view of a run.
+type ReceiverResult struct {
+	// Session and Index locate the receiver (both 1-based).
+	Session int `json:"session"`
+	Index   int `json:"index"`
+	// Label is S<session>R<index>, suffixed for attackers.
+	Label string `json:"label"`
+	// Attacker marks receivers added with AddAttacker.
+	Attacker bool `json:"attacker,omitempty"`
+	// Level is the subscription level (replicated: group) at run end.
+	Level int `json:"level"`
+	// AvgKbps is the delivered throughput averaged over the whole run.
+	AvgKbps float64 `json:"avg_kbps"`
+	// Series is the smoothed per-second throughput time series.
+	Series []Point `json:"series,omitempty"`
+}
+
+// CrossResult is one cross-traffic flow's view of a run.
+type CrossResult struct {
+	// Label is tcp<n> or cbr<n>.
+	Label string `json:"label"`
+	// AvgKbps is the delivered throughput averaged over the whole run.
+	AvgKbps float64 `json:"avg_kbps"`
+	// Series is the smoothed per-second throughput time series.
+	Series []Point `json:"series,omitempty"`
+}
+
+// LinkResult is one bottleneck link's view of a run.
+type LinkResult struct {
+	// Label names the link (upstream->downstream).
+	Label string `json:"label"`
+	// CapacityBps is the link rate in bits/s.
+	CapacityBps int64 `json:"capacity_bps"`
+	// Utilization is delivered bits over capacity·duration, in [0,1].
+	Utilization float64 `json:"utilization"`
+	// SentBytes counts bytes that completed serialization.
+	SentBytes uint64 `json:"sent_bytes"`
+	// Delivered counts packets handed to the downstream node.
+	Delivered uint64 `json:"delivered"`
+	// Dropped counts drop-tail losses at the link queue.
+	Dropped uint64 `json:"dropped"`
+	// Marked counts ECN CE marks at the link queue.
+	Marked uint64 `json:"marked"`
+}
+
+// Result is the typed outcome of Run: everything measured from virtual
+// time zero to Until.
+type Result struct {
+	// Protocol is the variant's registry name.
+	Protocol string `json:"protocol"`
+	// Until is the virtual end time of the run.
+	Until Time `json:"until"`
+	// Seconds is Until in seconds, for human-facing output.
+	Seconds float64 `json:"seconds"`
+	// Receivers holds one entry per multicast receiver, session by
+	// session in attachment order, attackers included.
+	Receivers []ReceiverResult `json:"receivers"`
+	// Cross holds one entry per TCP flow, then per CBR source.
+	Cross []CrossResult `json:"cross,omitempty"`
+	// Bottlenecks holds one entry per congested link.
+	Bottlenecks []LinkResult `json:"bottlenecks"`
+	// LostPackets totals drop-tail losses across the bottlenecks.
+	LostPackets uint64 `json:"lost_packets"`
+}
+
+// Receiver returns the result entry for session s, receiver i (both
+// 1-based), or nil.
+func (r *Result) Receiver(s, i int) *ReceiverResult {
+	for k := range r.Receivers {
+		if r.Receivers[k].Session == s && r.Receivers[k].Index == i {
+			return &r.Receivers[k]
+		}
+	}
+	return nil
+}
+
+// Utilization returns the mean utilization across the bottlenecks.
+func (r *Result) Utilization() float64 {
+	if len(r.Bottlenecks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range r.Bottlenecks {
+		sum += l.Utilization
+	}
+	return sum / float64(len(r.Bottlenecks))
+}
+
+// result snapshots the experiment state into a Result.
+func (e *Experiment) result(until Time) *Result {
+	res := &Result{
+		Protocol: e.Protocol.Name(),
+		Until:    until,
+		Seconds:  until.Sec(),
+	}
+	for _, s := range e.sessions {
+		for _, r := range s.Receivers {
+			res.Receivers = append(res.Receivers, ReceiverResult{
+				Session:  r.session,
+				Index:    r.index,
+				Label:    r.Label(),
+				Attacker: r.Attacker(),
+				Level:    r.Level(),
+				AvgKbps:  r.Meter().AvgKbps(0, until),
+				Series:   r.Meter().Series(resultWindow),
+			})
+		}
+	}
+	for _, f := range e.tcps {
+		res.Cross = append(res.Cross, CrossResult{
+			Label:   f.Label(),
+			AvgKbps: f.Meter().AvgKbps(0, until),
+			Series:  f.Meter().Series(resultWindow),
+		})
+	}
+	for _, c := range e.cbrs {
+		res.Cross = append(res.Cross, CrossResult{
+			Label:   c.Label(),
+			AvgKbps: c.Meter().AvgKbps(0, until),
+			Series:  c.Meter().Series(resultWindow),
+		})
+	}
+	for _, l := range e.Topo.Bottlenecks() {
+		lr := LinkResult{
+			Label:       l.String(),
+			CapacityBps: l.Rate,
+			SentBytes:   l.SentBytes,
+			Delivered:   l.Delivered,
+			Dropped:     l.Queue.Dropped,
+			Marked:      l.Queue.Marked,
+		}
+		if until > 0 && l.Rate > 0 {
+			lr.Utilization = float64(lr.SentBytes) * 8 / (float64(l.Rate) * until.Sec())
+		}
+		res.Bottlenecks = append(res.Bottlenecks, lr)
+		res.LostPackets += lr.Dropped
+	}
+	return res
+}
