@@ -18,9 +18,10 @@ func benchOptions() scenario.Options {
 
 func benchFigure(b *testing.B, run func(scenario.Options) *scenario.Result) {
 	b.Helper()
+	// One fixed seed for every iteration: each run is identical work, so
+	// ns/op is stable and comparable across benchmark invocations.
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
-		opt.Seed = 2003 + uint64(i)
 		res := run(opt)
 		if len(res.Series) == 0 && len(res.Curves) == 0 {
 			b.Fatal("figure produced no data")
@@ -81,3 +82,38 @@ func BenchmarkProtectedSessionSecond(b *testing.B) {
 		exp.Advance(deltasigma.Time(i+1) * deltasigma.Second)
 	}
 }
+
+// benchSweep is the campaign grid the sweep benchmarks share: 2 protocols
+// × 2 receiver counts × 2 attacker counts = 8 independent points.
+func benchSweep() deltasigma.Sweep {
+	return deltasigma.Sweep{
+		Name:      "bench",
+		Protocols: []string{"flid-dl", "flid-ds"},
+		Receivers: []int{1, 2},
+		Attackers: []int{0, 1},
+		Duration:  4 * deltasigma.Second,
+		Seeds:     []uint64{2003},
+	}
+}
+
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	sw := benchSweep()
+	for i := 0; i < b.N; i++ {
+		res, err := sw.Run(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures != 0 {
+			b.Fatalf("%d points failed", res.Failures)
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the campaign grid on a single worker — the
+// baseline the parallel pool is measured against.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid with one worker per CPU; the
+// speedup over BenchmarkSweepSerial is the campaign layer's payoff.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }

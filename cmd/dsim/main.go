@@ -1,14 +1,26 @@
-// Command dsim runs a single configurable scenario through the public
-// deltasigma experiment builder: any registered protocol variant on any
-// built-in topology, with optional inflated-subscription attack and
-// TCP/CBR cross traffic, printing per-receiver throughput over time or a
-// JSON dump of the typed results.
+// Command dsim runs deltasigma experiments from the command line.
+//
+// The default mode runs a single configurable scenario through the public
+// experiment builder: any registered protocol variant on any built-in
+// topology, with optional inflated-subscription attack and TCP/CBR cross
+// traffic, printing per-receiver throughput over time or a JSON dump of
+// the typed results.
 //
 //	go run ./cmd/dsim -protocol flid-dl -sessions 2 -attack 30 -dur 90
 //	go run ./cmd/dsim -protocol flid-ds -sessions 2 -attack 30 -dur 90
 //	go run ./cmd/dsim -protocol flid-ds -topology chain -capacity 500000,250000 -tcp 1 -dur 60
 //	go run ./cmd/dsim -protocol flid-ds-threshold -topology star -capacity 250000,500000 -sessions 1 -json
 //	go run ./cmd/dsim -list
+//
+// The `sweep` subcommand runs a whole campaign — the cartesian product of
+// protocol/topology/receiver/attacker/capacity/slot/delay-spread/seed axes
+// — across all cores, with deterministic merged output (JSON, CSV or a
+// table) that is byte-identical for any -workers value:
+//
+//	go run ./cmd/dsim sweep -protocols flid-dl,flid-ds -receivers 1,4,16,64 -attackers 0,1,2 -dur 30
+//	go run ./cmd/dsim sweep -campaign attacker-fraction -scale 0.5 -json
+//	go run ./cmd/dsim sweep -campaign rtt-heterogeneity -workers 4 -csv
+//	go run ./cmd/dsim sweep -list
 package main
 
 import (
@@ -23,7 +35,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		err = runSweep(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGridEnumeratesRowMajor(t *testing.T) {
+	g, err := NewGrid(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 6 || g.Axes() != 2 {
+		t.Fatalf("Size = %d, Axes = %d", g.Size(), g.Axes())
+	}
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	for i, w := range want {
+		got := g.Coords(i)
+		if len(got) != 2 || got[0] != w[0] || got[1] != w[1] {
+			t.Fatalf("Coords(%d) = %v, want %v", i, got, w)
+		}
+		if back := g.Index(got); back != i {
+			t.Fatalf("Index(Coords(%d)) = %d", i, back)
+		}
+	}
+}
+
+func TestGridRoundTripsManyAxes(t *testing.T) {
+	g, err := NewGrid(3, 1, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3*1*4*2*5 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < g.Size(); i++ {
+		c := g.Coords(i)
+		key := fmt.Sprint(c)
+		if seen[key] {
+			t.Fatalf("duplicate coords %v", c)
+		}
+		seen[key] = true
+		if g.Index(c) != i {
+			t.Fatalf("round trip failed at %d: %v", i, c)
+		}
+	}
+}
+
+func TestGridRejectsEmptyAxis(t *testing.T) {
+	if _, err := NewGrid(2, 0, 3); err == nil {
+		t.Fatal("NewGrid accepted a zero-length axis")
+	}
+	if _, err := NewGrid(-1); err == nil {
+		t.Fatal("NewGrid accepted a negative axis")
+	}
+}
+
+func TestGridZeroAxesIsSinglePoint(t *testing.T) {
+	g, err := NewGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 1 {
+		t.Fatalf("empty product should have one point, got %d", g.Size())
+	}
+	if len(g.Coords(0)) != 0 {
+		t.Fatalf("Coords(0) = %v, want empty", g.Coords(0))
+	}
+}
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		errs := Run(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: job %d unexpected error %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+func TestRunKeepsErrorsByIndex(t *testing.T) {
+	boom := errors.New("boom")
+	errs := Run(10, 4, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i%3 == 0 {
+			if !errors.Is(err, boom) {
+				t.Fatalf("job %d error = %v, want wrapped boom", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("job %d error = %v, want nil", i, err)
+		}
+	}
+}
+
+// A panicking job must be captured as an error without wedging the pool —
+// the remaining jobs all still run.
+func TestRunRecoversPanicsWithoutDeadlock(t *testing.T) {
+	n := 50
+	var ran atomic.Int64
+	errs := Run(n, 4, func(i int) error {
+		if i == 17 {
+			panic("grid point exploded")
+		}
+		ran.Add(1)
+		return nil
+	})
+	if got := ran.Load(); got != int64(n-1) {
+		t.Fatalf("ran %d healthy jobs, want %d", got, n-1)
+	}
+	if errs[17] == nil {
+		t.Fatal("panicking job produced no error")
+	}
+	for i, err := range errs {
+		if i != 17 && err != nil {
+			t.Fatalf("healthy job %d got error %v", i, err)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if errs := Run(0, 8, func(int) error { t.Fatal("job ran"); return nil }); len(errs) != 0 {
+		t.Fatalf("errs = %v, want empty", errs)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	var ran atomic.Int64
+	Run(25, 0, func(int) error { ran.Add(1); return nil })
+	if ran.Load() != 25 {
+		t.Fatalf("ran %d jobs with default workers, want 25", ran.Load())
+	}
+}

@@ -9,19 +9,23 @@ import (
 
 // Queue is a drop-tail FIFO bounded in bytes, with optional threshold ECN
 // marking for the ECN-driven protocol variant (§3.1.2 "Congestion
-// notification").
+// notification"). Storage is a head-indexed ring: a continuously busy
+// bottleneck cycles packets through a fixed backing array instead of
+// creeping down an ever-growing slice.
 type Queue struct {
 	CapBytes  int // maximum queued bytes; <=0 means unbounded
 	MarkAt    int // ECN-mark packets enqueued beyond this many bytes; 0 disables
 	bytes     int
-	pkts      []*packet.Packet
+	ring      []*packet.Packet // ring storage; len is the current capacity
+	head      int              // index of the oldest packet
+	count     int              // packets queued
 	Dropped   uint64
 	Marked    uint64
 	MaxFilled int
 }
 
 // Len reports the number of queued packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return q.count }
 
 // Bytes reports the queued byte total.
 func (q *Queue) Bytes() int { return q.bytes }
@@ -40,7 +44,11 @@ func (q *Queue) push(pkt *packet.Packet) bool {
 		pkt.ECN = true
 		q.Marked++
 	}
-	q.pkts = append(q.pkts, pkt)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)%len(q.ring)] = pkt
+	q.count++
 	q.bytes += pkt.Size
 	if q.bytes > q.MaxFilled {
 		q.MaxFilled = q.bytes
@@ -48,18 +56,30 @@ func (q *Queue) push(pkt *packet.Packet) bool {
 	return true
 }
 
+// grow doubles the ring, unwrapping the queued packets to the front.
+func (q *Queue) grow() {
+	n := 2 * len(q.ring)
+	if n == 0 {
+		n = 8
+	}
+	next := make([]*packet.Packet, n)
+	for i := 0; i < q.count; i++ {
+		next[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = next
+	q.head = 0
+}
+
 // pop removes and returns the head packet, or nil when empty.
 func (q *Queue) pop() *packet.Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	pkt := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	pkt := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
 	q.bytes -= pkt.Size
-	if len(q.pkts) == 0 {
-		q.pkts = nil // let the backing array go once drained
-	}
 	return pkt
 }
 

@@ -121,6 +121,83 @@ func TestQueueDropTail(t *testing.T) {
 	}
 }
 
+// Regression: a continuously busy queue (never fully drains) must cycle
+// packets through a fixed ring rather than creep down an ever-growing
+// backing array. The old q.pkts = q.pkts[1:] advance only released memory
+// on a full drain, which a saturated bottleneck never reaches.
+func TestQueueRingDoesNotGrowWhenBusy(t *testing.T) {
+	var q Queue
+	const depth = 4
+	// Prime the queue to its working depth, then push/pop in lockstep for
+	// far more than 10× that capacity, never letting it drain.
+	for i := 0; i < depth; i++ {
+		if !q.push(packet.New(1, 2, 100, nil)) {
+			t.Fatal("push failed on unbounded queue")
+		}
+	}
+	ringCap := len(q.ring)
+	for i := 0; i < 100*depth; i++ {
+		if q.pop() == nil {
+			t.Fatalf("pop %d returned nil from non-empty queue", i)
+		}
+		if !q.push(packet.New(1, 2, 100, nil)) {
+			t.Fatalf("push %d failed", i)
+		}
+		if got := len(q.ring); got != ringCap {
+			t.Fatalf("ring grew from %d to %d after %d steady-state cycles", ringCap, got, i+1)
+		}
+	}
+	if q.Len() != depth {
+		t.Fatalf("Len = %d, want %d", q.Len(), depth)
+	}
+	if q.Bytes() != depth*100 {
+		t.Fatalf("Bytes = %d, want %d", q.Bytes(), depth*100)
+	}
+}
+
+// The ring must preserve FIFO order across growth (wrap-around unwrapping)
+// and interleaved push/pop.
+func TestQueueRingFIFOAcrossGrowth(t *testing.T) {
+	var q Queue
+	next, want := 0, 0
+	push := func() {
+		pkt := packet.New(1, 2, 100, nil)
+		pkt.UID = uint64(next)
+		next++
+		q.push(pkt)
+	}
+	popCheck := func() {
+		pkt := q.pop()
+		if pkt == nil {
+			t.Fatalf("pop returned nil, want seq %d", want)
+		}
+		if int(pkt.UID) != want {
+			t.Fatalf("pop = uid %d, want %d", pkt.UID, want)
+		}
+		want++
+	}
+	// Offset the head so the first growth has to unwrap a wrapped ring.
+	for i := 0; i < 6; i++ {
+		push()
+	}
+	for i := 0; i < 5; i++ {
+		popCheck()
+	}
+	// Grow through several doublings with a wrapped head.
+	for i := 0; i < 100; i++ {
+		push()
+	}
+	for q.Len() > 0 {
+		popCheck()
+	}
+	if want != next {
+		t.Fatalf("popped %d packets, pushed %d", want, next)
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue must return nil")
+	}
+}
+
 func TestQueueECNMarking(t *testing.T) {
 	sched, n := newNet()
 	a := n.AddHost("a")

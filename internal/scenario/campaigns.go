@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deltasigma"
+	"deltasigma/internal/sim"
+)
+
+// Campaign is a named, pre-configured parameter-sweep: the campaigns the
+// figure harness, cmd/dsim sweep and the benchmarks share. Build returns a
+// ready-to-run deltasigma.Sweep scaled by the usual Options (tests run
+// shortened versions exactly like the per-figure scenarios).
+type Campaign struct {
+	// Name is the lookup key (cmd/dsim sweep -campaign <name>).
+	Name string
+	// Description is the one-line summary for listings.
+	Description string
+	// Build assembles the sweep at the given scale.
+	Build func(opt Options) deltasigma.Sweep
+}
+
+// campaignDuration is the full-scale per-point run length: long enough
+// past the join transient for stable averages, short enough that a grid
+// stays minutes, not hours.
+const campaignDuration = 60 * sim.Second
+
+// campaigns holds every canned campaign in listing order.
+var campaigns = []Campaign{
+	{
+		Name:        "population",
+		Description: "receiver-population scaling, tens to thousands of receivers, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			receivers := []int{10, 100, 1000}
+			if opt.Scale < 1 {
+				receivers = []int{2, 8, 32}
+			}
+			return deltasigma.Sweep{
+				Name:      "population",
+				Protocols: []string{"flid-dl", "flid-ds"},
+				Receivers: receivers,
+				Duration:  opt.scale(campaignDuration),
+				Seeds:     []uint64{opt.Seed},
+			}
+		},
+	},
+	{
+		Name:        "attacker-fraction",
+		Description: "inflated-subscription attacker fraction 0..50% of the group, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			receivers, attackers := []int{8}, []int{0, 1, 2, 4}
+			if opt.Scale < 1 {
+				receivers, attackers = []int{4}, []int{0, 1, 2}
+			}
+			dur := opt.scale(campaignDuration)
+			return deltasigma.Sweep{
+				Name:      "attacker-fraction",
+				Protocols: []string{"flid-dl", "flid-ds"},
+				Receivers: receivers,
+				Attackers: attackers,
+				Duration:  dur,
+				AttackAt:  dur / 4,
+				Seeds:     []uint64{opt.Seed},
+			}
+		},
+	},
+	{
+		Name:        "rtt-heterogeneity",
+		Description: "access-delay spread 0..640ms across receivers, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			spreads := []sim.Time{0, 40 * sim.Millisecond, 160 * sim.Millisecond, 640 * sim.Millisecond}
+			receivers := []int{8}
+			if opt.Scale < 1 {
+				spreads = []sim.Time{0, 160 * sim.Millisecond}
+				receivers = []int{4}
+			}
+			return deltasigma.Sweep{
+				Name:         "rtt-heterogeneity",
+				Protocols:    []string{"flid-dl", "flid-ds"},
+				Receivers:    receivers,
+				DelaySpreads: spreads,
+				Duration:     opt.scale(campaignDuration),
+				Seeds:        []uint64{opt.Seed},
+			}
+		},
+	},
+}
+
+// Campaigns lists every canned campaign in listing order.
+func Campaigns() []Campaign { return campaigns }
+
+// LookupCampaign resolves a canned campaign by name.
+func LookupCampaign(name string) (Campaign, bool) {
+	for _, c := range campaigns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}
+
+// CampaignNames returns the canned campaign names in listing order.
+func CampaignNames() []string {
+	names := make([]string, len(campaigns))
+	for i, c := range campaigns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// RunCampaign builds and runs a canned campaign by name.
+func RunCampaign(name string, opt Options, workers int) (*deltasigma.CampaignResult, error) {
+	c, ok := LookupCampaign(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown campaign %q (have %v)", name, CampaignNames())
+	}
+	return c.Build(opt).Run(workers)
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestCampaignRegistry(t *testing.T) {
+	names := CampaignNames()
+	if len(names) != 3 {
+		t.Fatalf("campaigns = %v, want 3", names)
+	}
+	for _, name := range names {
+		c, ok := LookupCampaign(name)
+		if !ok || c.Name != name || c.Description == "" || c.Build == nil {
+			t.Fatalf("campaign %q malformed: %+v", name, c)
+		}
+	}
+	if _, ok := LookupCampaign("nope"); ok {
+		t.Fatal("LookupCampaign resolved a bogus name")
+	}
+	if _, err := RunCampaign("nope", testOptions(), 1); err == nil {
+		t.Fatal("RunCampaign should error on unknown names")
+	}
+}
+
+// Every canned campaign must declare a valid, runnable grid; run them at a
+// tiny scale to keep the suite fast while still exercising every axis.
+func TestCampaignsRunAtReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs are moderate-length simulations")
+	}
+	opt := Options{Scale: 0.05, Seed: 2003}
+	for _, c := range Campaigns() {
+		sw := c.Build(opt)
+		if sw.Size() < 4 {
+			t.Fatalf("campaign %q declares only %d points", c.Name, sw.Size())
+		}
+		res, err := sw.Run(0)
+		if err != nil {
+			t.Fatalf("campaign %q: %v", c.Name, err)
+		}
+		if res.Failures != 0 {
+			for _, p := range res.Points {
+				if p.Error != "" {
+					t.Fatalf("campaign %q point %v failed: %s", c.Name, p.Point, p.Error)
+				}
+			}
+		}
+		for i, p := range res.Points {
+			if p.GoodMeanKbps <= 0 {
+				t.Fatalf("campaign %q point %d (%v) produced no throughput", c.Name, i, p.Point)
+			}
+		}
+	}
+}

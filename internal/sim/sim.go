@@ -44,11 +44,14 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Sec()) }
 // event is a scheduled closure. seq breaks ties between events with equal
 // timestamps so ordering is insertion-stable.
 type event struct {
-	at   Time
-	seq  uint64
-	do   func()
-	dead bool // set by Timer.Stop; the event fires as a no-op
-	idx  int  // heap index, maintained by eventHeap
+	at  Time
+	seq uint64
+	do  func()
+	// idx is the heap index, maintained by eventHeap; -1 once popped or
+	// removed. An event is pending if and only if idx >= 0: Timer.Stop
+	// removes its event from the heap immediately, so no dead events ever
+	// drain through the run loop.
+	idx int
 }
 
 type eventHeap []*event
@@ -106,8 +109,8 @@ func (s *Scheduler) Now() Time { return s.now }
 // load metric used by benchmarks.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are queued (including stopped timers that
-// have not yet drained).
+// Pending reports how many live events are queued. Stopped timers leave
+// the heap immediately and are not counted.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // At schedules f to run at absolute virtual time t. Scheduling in the past
@@ -147,10 +150,8 @@ func (s *Scheduler) RunUntil(limit Time) {
 		}
 		heap.Pop(&s.heap)
 		s.now = e.at
-		if !e.dead {
-			s.fired++
-			e.do()
-		}
+		s.fired++
+		e.do()
 	}
 	if s.now < limit && !s.stopped {
 		s.now = limit
@@ -163,10 +164,8 @@ func (s *Scheduler) Run() {
 	for len(s.heap) > 0 && !s.stopped {
 		e := heap.Pop(&s.heap).(*event)
 		s.now = e.at
-		if !e.dead {
-			s.fired++
-			e.do()
-		}
+		s.fired++
+		e.do()
 	}
 }
 
@@ -179,17 +178,22 @@ type Timer struct {
 
 // Stop cancels the timer. It is safe to call on a nil handle, repeatedly,
 // and after the event fired. It reports whether the event was still pending.
+//
+// The event is removed from the scheduler heap immediately — cancelled
+// timers do not linger until their timestamp drains, so workloads that
+// set and cancel many timers (TCP retransmission) keep Pending() and the
+// per-operation O(log n) cost proportional to live events only.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
 		return false
 	}
-	t.ev.dead = true
+	heap.Remove(&t.sched.heap, t.ev.idx)
 	return true
 }
 
 // Active reports whether the event is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+	return t != nil && t.ev != nil && t.ev.idx >= 0
 }
 
 // When returns the virtual time the timer is set to fire at. Valid only

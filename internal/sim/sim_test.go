@@ -127,6 +127,70 @@ func TestTimerStopAfterFire(t *testing.T) {
 	}
 }
 
+// Regression: a stopped timer must leave the heap immediately, not linger
+// as a dead event until its timestamp drains. Cancel-heavy workloads (TCP
+// retransmission timers rescheduled on every ACK) would otherwise balloon
+// Pending() and pay O(log n) on a bloated heap for the whole run.
+func TestTimerStopRemovesFromHeap(t *testing.T) {
+	s := NewScheduler()
+	var timers []*Timer
+	for i := 0; i < 1000; i++ {
+		// Far-future timers: without heap removal these would sit in the
+		// heap until t=1000s even though every one is cancelled below.
+		timers = append(timers, s.After(1000*Second, func() {}))
+	}
+	if got := s.Pending(); got != 1000 {
+		t.Fatalf("Pending = %d before Stop, want 1000", got)
+	}
+	for i, tm := range timers {
+		tm.Stop()
+		if got, want := s.Pending(), 1000-i-1; got != want {
+			t.Fatalf("Pending = %d after stopping %d timers, want %d", got, i+1, want)
+		}
+	}
+	// The scheduler must still run cleanly with an emptied heap.
+	fired := false
+	s.At(Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("live event did not fire after mass cancellation")
+	}
+}
+
+// Regression: stopping timers out of insertion order (the heap-middle case
+// heap.Remove has to sift around) must preserve execution order of the
+// survivors.
+func TestTimerStopInterleavedKeepsOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var cancel []*Timer
+	for i := 0; i < 100; i++ {
+		i := i
+		tm := s.At(Time(i)*Millisecond, func() { got = append(got, i) })
+		if i%3 == 0 {
+			cancel = append(cancel, tm)
+		}
+	}
+	// Stop every third timer, middle-out.
+	for i := len(cancel)/2 - 1; i >= 0; i-- {
+		cancel[i].Stop()
+	}
+	for i := len(cancel) / 2; i < len(cancel); i++ {
+		cancel[i].Stop()
+	}
+	s.Run()
+	want := 0
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+		if v < want {
+			t.Fatalf("events fired out of order: %v", got)
+		}
+		want = v
+	}
+}
+
 func TestTimerWhen(t *testing.T) {
 	s := NewScheduler()
 	tm := s.At(7*Second, func() {})
@@ -279,6 +343,35 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	b.ResetTimer()
 	s.After(0, pump)
 	s.Run()
+}
+
+// BenchmarkSchedulerCancelHeavy models the TCP retransmit pattern: every
+// tick arms a far-future timeout and cancels the previous one. Before
+// Timer.Stop removed events from the heap, the dead timers accumulated and
+// every operation paid O(log n) on a heap of mostly-cancelled events; with
+// the fix the heap holds at most two events throughout.
+func BenchmarkSchedulerCancelHeavy(b *testing.B) {
+	s := NewScheduler()
+	var rto *Timer
+	var pump func()
+	n, maxPending := 0, 0
+	pump = func() {
+		n++
+		rto.Stop()
+		rto = s.After(60*Second, func() {}) // timeout that never fires
+		if p := s.Pending(); p > maxPending {
+			maxPending = p
+		}
+		if n < b.N {
+			s.After(Microsecond, pump)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, pump)
+	s.Run()
+	if maxPending > 2 {
+		b.Fatalf("cancelled timers leaked: max Pending = %d", maxPending)
+	}
 }
 
 func BenchmarkSchedulerFanOut(b *testing.B) {

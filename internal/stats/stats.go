@@ -5,6 +5,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 
 	"deltasigma/internal/sim"
 )
@@ -130,6 +131,35 @@ func Mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs with linear
+// interpolation between order statistics. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted slice —
+// sort once, then take as many quantiles as needed.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // StdDev returns the population standard deviation.

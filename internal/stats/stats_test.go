@@ -140,3 +140,24 @@ func TestMeterRejectsBadBin(t *testing.T) {
 	}()
 	NewMeter(0)
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 40 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("Percentile(single) = %v, want 7", got)
+	}
+}
