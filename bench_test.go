@@ -18,6 +18,9 @@ func benchOptions() scenario.Options {
 
 func benchFigure(b *testing.B, run func(scenario.Options) *scenario.Result) {
 	b.Helper()
+	// Allocation counts are a tracked metric of the zero-allocation hot
+	// path (see BENCH_pr3.json for the recorded trajectory).
+	b.ReportAllocs()
 	// One fixed seed for every iteration: each run is identical work, so
 	// ns/op is stable and comparable across benchmark invocations.
 	opt := benchOptions()
@@ -77,6 +80,7 @@ func BenchmarkProtectedSessionSecond(b *testing.B) {
 	)
 	exp.AddSession(2)
 	exp.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.Advance(deltasigma.Time(i+1) * deltasigma.Second)
@@ -98,6 +102,7 @@ func benchSweep() deltasigma.Sweep {
 
 func benchSweepWorkers(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	sw := benchSweep()
 	for i := 0; i < b.N; i++ {
 		res, err := sw.Run(workers)

@@ -60,6 +60,9 @@ type (
 	Link = netsim.Link
 	// Addr is a network (host or group) address.
 	Addr = packet.Addr
+	// PacketPool recycles packet envelopes across experiments; see
+	// WithPacketPool. One pool must never serve concurrent experiments.
+	PacketPool = packet.Pool
 
 	// Topology is an assembled simulated network an experiment runs on.
 	Topology = topo.Topology

@@ -79,6 +79,9 @@ func New(opts ...Option) (*Experiment, error) {
 		}
 		t = fn(s.seed)
 	}
+	if s.pool != nil {
+		t.Network().SetPool(s.pool)
+	}
 	return &Experiment{
 		Topo:     t,
 		Protocol: s.protocol,

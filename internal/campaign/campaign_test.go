@@ -75,7 +75,7 @@ func TestRunExecutesEveryJobOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		n := 100
 		counts := make([]atomic.Int64, n)
-		errs := Run(n, workers, func(i int) error {
+		errs := Run(n, workers, func(_, i int) error {
 			counts[i].Add(1)
 			return nil
 		})
@@ -92,7 +92,7 @@ func TestRunExecutesEveryJobOnce(t *testing.T) {
 
 func TestRunKeepsErrorsByIndex(t *testing.T) {
 	boom := errors.New("boom")
-	errs := Run(10, 4, func(i int) error {
+	errs := Run(10, 4, func(_, i int) error {
 		if i%3 == 0 {
 			return fmt.Errorf("job %d: %w", i, boom)
 		}
@@ -114,7 +114,7 @@ func TestRunKeepsErrorsByIndex(t *testing.T) {
 func TestRunRecoversPanicsWithoutDeadlock(t *testing.T) {
 	n := 50
 	var ran atomic.Int64
-	errs := Run(n, 4, func(i int) error {
+	errs := Run(n, 4, func(_, i int) error {
 		if i == 17 {
 			panic("grid point exploded")
 		}
@@ -135,15 +135,50 @@ func TestRunRecoversPanicsWithoutDeadlock(t *testing.T) {
 }
 
 func TestRunZeroJobs(t *testing.T) {
-	if errs := Run(0, 8, func(int) error { t.Fatal("job ran"); return nil }); len(errs) != 0 {
+	if errs := Run(0, 8, func(int, int) error { t.Fatal("job ran"); return nil }); len(errs) != 0 {
 		t.Fatalf("errs = %v, want empty", errs)
 	}
 }
 
 func TestRunDefaultWorkers(t *testing.T) {
 	var ran atomic.Int64
-	Run(25, 0, func(int) error { ran.Add(1); return nil })
+	Run(25, 0, func(int, int) error { ran.Add(1); return nil })
 	if ran.Load() != 25 {
 		t.Fatalf("ran %d jobs with default workers, want 25", ran.Load())
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	if got := EffectiveWorkers(100, 8); got != 8 {
+		t.Fatalf("EffectiveWorkers(100, 8) = %d", got)
+	}
+	if got := EffectiveWorkers(3, 8); got != 3 {
+		t.Fatalf("EffectiveWorkers(3, 8) = %d (never exceeds n)", got)
+	}
+	if got := EffectiveWorkers(10, 0); got != DefaultWorkers() && got != 10 {
+		t.Fatalf("EffectiveWorkers(10, 0) = %d", got)
+	}
+}
+
+// The worker index must stay in [0, EffectiveWorkers) and each worker must
+// run its jobs sequentially — per-worker state (packet pools) relies on it.
+func TestRunWorkerIndexIsolation(t *testing.T) {
+	n, workers := 200, 5
+	eff := EffectiveWorkers(n, workers)
+	busy := make([]atomic.Int64, eff)
+	errs := Run(n, workers, func(w, i int) error {
+		if w < 0 || w >= eff {
+			return fmt.Errorf("worker index %d outside [0,%d)", w, eff)
+		}
+		if busy[w].Add(1) != 1 {
+			return fmt.Errorf("worker %d ran two jobs concurrently", w)
+		}
+		defer busy[w].Add(-1)
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
 	}
 }

@@ -30,13 +30,19 @@ type Source struct {
 	running bool
 	seq     uint32
 
+	emitTimer   *sim.Timer // reusable inter-packet timer
+	toggleTimer *sim.Timer // reusable on-off cycle timer
+
 	// PacketsSent counts emissions.
 	PacketsSent uint64
 }
 
 // New creates a CBR source on host targeting dst.
 func New(host *netsim.Host, dst packet.Addr, flow uint32, rate int64, pktSize int) *Source {
-	return &Source{host: host, dst: dst, flow: flow, Rate: rate, PacketSize: pktSize}
+	s := &Source{host: host, dst: dst, flow: flow, Rate: rate, PacketSize: pktSize}
+	s.emitTimer = host.Scheduler().NewTimer(s.emit)
+	s.toggleTimer = host.Scheduler().NewTimer(s.toggle)
+	return s
 }
 
 // interval is the inter-packet gap at Rate.
@@ -65,16 +71,18 @@ func (s *Source) scheduleToggle() {
 	if !s.on {
 		period = s.OffPeriod
 	}
-	s.host.Scheduler().After(period, func() {
-		if !s.running {
-			return
-		}
-		s.on = !s.on
-		s.scheduleToggle()
-		if s.on {
-			s.emit()
-		}
-	})
+	s.toggleTimer.Reset(period)
+}
+
+func (s *Source) toggle() {
+	if !s.running {
+		return
+	}
+	s.on = !s.on
+	s.scheduleToggle()
+	if s.on {
+		s.emit()
+	}
 }
 
 func (s *Source) emit() {
@@ -82,9 +90,8 @@ func (s *Source) emit() {
 		return
 	}
 	s.seq++
-	pkt := packet.New(s.host.Addr(), s.dst, s.PacketSize, &packet.CBRHeader{Flow: s.flow, Seq: s.seq})
-	pkt.UID = s.host.Network().NewUID()
+	pkt := s.host.Network().NewPacket(s.host.Addr(), s.dst, s.PacketSize, &packet.CBRHeader{Flow: s.flow, Seq: s.seq})
 	s.host.Send(pkt)
 	s.PacketsSent++
-	s.host.Scheduler().After(s.interval(), s.emit)
+	s.emitTimer.Reset(s.interval())
 }

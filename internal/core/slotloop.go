@@ -1,0 +1,71 @@
+package core
+
+import "deltasigma/internal/sim"
+
+// SlotLoop drives a receiver's once-per-slot evaluation on a single
+// reusable timer: every slotted receiver (FLID-DL, FLID-DS, replicated,
+// threshold) evaluates the finished slot a guard interval into the next
+// one, then advances. One SlotLoop plus one recycled scheduler event serve
+// the receiver's whole lifetime.
+type SlotLoop struct {
+	sched *sim.Scheduler
+	sess  *Session
+	guard sim.Time // how far into the following slot evaluation waits
+	eval  func(slot uint32) bool
+	timer *sim.Timer
+	slot  uint32
+}
+
+// NewSlotLoop builds a loop evaluating sess's slots with eval, which
+// receives the finished slot number and reports whether the loop should
+// continue — a stopped receiver returns false and the loop goes quiet until
+// the next Schedule call.
+func NewSlotLoop(sched *sim.Scheduler, sess *Session, guard sim.Time, eval func(slot uint32) bool) *SlotLoop {
+	l := &SlotLoop{sched: sched, sess: sess, guard: guard, eval: eval}
+	l.timer = sched.NewTimer(l.fire)
+	return l
+}
+
+// Schedule arms evaluation of slot at its guard point (clamped just past
+// now when the guard point has already passed), rescheduling the reusable
+// timer in place.
+func (l *SlotLoop) Schedule(slot uint32) {
+	at := l.sess.SlotStart(slot+1) + l.guard
+	if at <= l.sched.Now() {
+		at = l.sched.Now() + 1
+	}
+	l.slot = slot
+	l.timer.ResetAt(at)
+}
+
+func (l *SlotLoop) fire() {
+	slot := l.slot
+	if l.eval(slot) {
+		l.Schedule(slot + 1)
+	}
+}
+
+// SlotScratch is the reusable per-slot auth/counts pair every slotted
+// sender fills at the top of its slot loop. Reusing the buffers is safe
+// because every delta BeginSlot implementation copies what it keeps —
+// a new instantiation that stored either slice would corrupt its previous
+// slot's state the moment the next slot resets the scratch.
+type SlotScratch struct {
+	Auth   []bool
+	Counts []int
+}
+
+// NewSlotScratch sizes the scratch for an n-group session.
+func NewSlotScratch(n int) SlotScratch {
+	return SlotScratch{Auth: make([]bool, n), Counts: make([]int, n)}
+}
+
+// Begin clears the authorization flags and returns both buffers for the
+// slot; callers set Auth for authorized upgrades and overwrite every
+// Counts entry.
+func (s *SlotScratch) Begin() ([]bool, []int) {
+	for i := range s.Auth {
+		s.Auth[i] = false
+	}
+	return s.Auth, s.Counts
+}

@@ -87,7 +87,9 @@ func (s *ThresholdSender) BeginSlot(slot uint32, auth []bool, counts []int) (*Th
 		polys:  make([]*shamir.Polynomial, s.n),
 		ups:    make([]*shamir.Polynomial, s.n),
 		seq:    make([]uint32, s.n),
-		counts: counts,
+		// Copy: callers reuse their counts scratch across slots, and the
+		// sibling Layered/Replicated BeginSlot implementations copy too.
+		counts: append([]int(nil), counts...),
 	}
 	ts.Keys = SlotKeys{
 		Slot: slot,

@@ -26,6 +26,7 @@ type DSReceiver struct {
 	level       int      // latest decided level
 	joinedSlot  []uint32 // first fully observed data slot per group
 	running     bool
+	loop        *core.SlotLoop
 
 	// Meter records delivered session bytes.
 	Meter *stats.Meter
@@ -45,6 +46,8 @@ func NewDSReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr
 		joinedSlot:  make([]uint32, sess.Rates.N+2),
 		Meter:       stats.NewMeter(sim.Second),
 	}
+	r.loop = core.NewSlotLoop(host.Scheduler(), sess,
+		sim.Time(guardFraction*float64(sess.SlotDur)), r.onEval)
 	host.Handle(packet.ProtoFLID, r.onData)
 	return r
 }
@@ -67,7 +70,7 @@ func (r *DSReceiver) Start() {
 	r.levelBySlot[cur] = 1
 	r.joinedSlot[1] = cur + 1
 	r.client.SessionJoin(r.Sess.BaseAddr)
-	r.scheduleEval(cur)
+	r.loop.Schedule(cur)
 }
 
 // Stop leaves the session.
@@ -80,19 +83,13 @@ func (r *DSReceiver) Stop() {
 	r.level = 0
 }
 
-func (r *DSReceiver) scheduleEval(slot uint32) {
-	sched := r.host.Scheduler()
-	at := r.Sess.SlotStart(slot+1) + sim.Time(guardFraction*float64(r.Sess.SlotDur))
-	if at <= sched.Now() {
-		at = sched.Now() + 1
+// onEval fires once per slot on the loop's reusable timer.
+func (r *DSReceiver) onEval(slot uint32) bool {
+	if !r.running {
+		return false
 	}
-	sched.At(at, func() {
-		if !r.running {
-			return
-		}
-		r.evaluate(slot)
-		r.scheduleEval(slot + 1)
-	})
+	r.evaluate(slot)
+	return true
 }
 
 func (r *DSReceiver) onData(pkt *packet.Packet) {

@@ -57,6 +57,7 @@ type Receiver struct {
 	joinedSlot []uint32 // data slot from which each group is fully counted
 	tallies    map[uint32]*slotTally
 	running    bool
+	loop       *core.SlotLoop
 
 	// Meter records delivered session bytes (the figures' throughput).
 	Meter *stats.Meter
@@ -75,6 +76,8 @@ func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) 
 		tallies:    make(map[uint32]*slotTally),
 		Meter:      stats.NewMeter(sim.Second),
 	}
+	r.loop = core.NewSlotLoop(host.Scheduler(), sess,
+		sim.Time(guardFraction*float64(sess.SlotDur)), r.onEval)
 	host.Handle(packet.ProtoFLID, r.onData)
 	return r
 }
@@ -88,13 +91,11 @@ func (r *Receiver) Start() {
 		return
 	}
 	r.running = true
-	sched := r.host.Scheduler()
-	now := sched.Now()
-	cur := r.Sess.SlotAt(now)
+	cur := r.Sess.SlotAt(r.host.Scheduler().Now())
 	r.level = 1
 	r.joinedSlot[1] = cur + 1 // first fully observed slot
 	r.igmp.Join(r.Sess.GroupAddr(1))
-	r.scheduleEval(cur)
+	r.loop.Schedule(cur)
 }
 
 // Stop leaves every group and halts evaluation.
@@ -109,19 +110,13 @@ func (r *Receiver) Stop() {
 	r.level = 0
 }
 
-func (r *Receiver) scheduleEval(slot uint32) {
-	sched := r.host.Scheduler()
-	at := r.Sess.SlotStart(slot+1) + sim.Time(guardFraction*float64(r.Sess.SlotDur))
-	if at <= sched.Now() {
-		at = sched.Now() + 1
+// onEval fires once per slot on the loop's reusable timer.
+func (r *Receiver) onEval(slot uint32) bool {
+	if !r.running {
+		return false
 	}
-	sched.At(at, func() {
-		if !r.running {
-			return
-		}
-		r.evaluate(slot)
-		r.scheduleEval(slot + 1)
-	})
+	r.evaluate(slot)
+	return true
 }
 
 func (r *Receiver) onData(pkt *packet.Packet) {

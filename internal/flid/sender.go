@@ -63,6 +63,9 @@ type Sender struct {
 	ann    *sigma.Announcer
 
 	running bool
+	// scratch holds the per-slot auth/counts buffers, reused every slot so
+	// the slot loop allocates only packet headers and emission closures.
+	scratch core.SlotScratch
 
 	// Stats.
 	PacketsSent uint64
@@ -82,6 +85,7 @@ func NewSender(host *netsim.Host, sess *core.Session, mode Mode, policy core.Upg
 	s := &Sender{
 		Sess: sess, host: host, mode: mode, policy: policy, rng: rng,
 		pacers:          make([]core.Pacer, sess.Rates.N),
+		scratch:         core.NewSlotScratch(sess.Rates.N),
 		AuthCount:       make([]uint64, sess.Rates.N),
 		PacketsPerGroup: make([]uint64, sess.Rates.N),
 	}
@@ -132,13 +136,11 @@ func (s *Sender) runSlot(slot uint32) {
 	if inc > n {
 		inc = n
 	}
-	auth := make([]bool, n)
+	auth, counts := s.scratch.Begin()
 	for g := 2; g <= inc; g++ {
 		auth[g-1] = true
 		s.AuthCount[g-1]++
 	}
-
-	counts := make([]int, n)
 	for g := 1; g <= n; g++ {
 		counts[g-1] = s.pacers[g-1].Packets(s.Sess.Rates.GroupRate(g), s.Sess.SlotDur, s.Sess.PacketSize)
 	}
@@ -172,10 +174,9 @@ func (s *Sender) runSlot(slot uint32) {
 			if at < sched.Now() {
 				at = sched.Now()
 			}
-			pkt := packet.New(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
-			pkt.UID = s.host.Network().NewUID()
+			pkt := s.host.Network().NewPacket(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
 			g := g
-			sched.At(at, func() {
+			sched.Schedule(at, func() {
 				s.PacketsSent++
 				s.PacketsPerGroup[g-1]++
 				s.BytesSent += uint64(pkt.Size)
@@ -184,7 +185,7 @@ func (s *Sender) runSlot(slot uint32) {
 		}
 	}
 
-	sched.At(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
+	sched.Schedule(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
 }
 
 // ObservedFrequency returns the measured f_g over the slots run so far.

@@ -99,7 +99,5 @@ func (c *Client) Leave(group packet.Addr) {
 }
 
 func (c *Client) send(op packet.IGMPOp, group packet.Addr) {
-	pkt := packet.New(c.host.Addr(), c.router, 0, &packet.IGMPHeader{Op: op, Group: group})
-	pkt.UID = c.host.Network().NewUID()
-	c.host.Send(pkt)
+	c.host.Send(c.host.Network().NewPacket(c.host.Addr(), c.router, 0, &packet.IGMPHeader{Op: op, Group: group}))
 }

@@ -1,0 +1,61 @@
+package mcast
+
+import (
+	"testing"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Multicast fan-out shares one envelope per replicated hop: the routers
+// retain per downstream branch and release the incoming reference, hosts
+// release on delivery, gatekeeper-denied interfaces never take a reference.
+// Whatever the tree shape, the pool must balance when traffic drains.
+func TestPoolBalancedUnderFanOut(t *testing.T) {
+	tb := newTestbed(t)
+	c1 := counter(tb.h1)
+	c2 := counter(tb.h2)
+	c3 := counter(tb.h3)
+
+	cl1 := NewClient(tb.h1, tb.e1.Addr())
+	cl2 := NewClient(tb.h2, tb.e1.Addr())
+	cl3 := NewClient(tb.h3, tb.e2.Addr())
+	tb.sched.At(0, func() { cl1.Join(grp); cl2.Join(grp); cl3.Join(grp) })
+	tb.sched.At(sim.Second, func() { tb.sendPooled(grp, 10) })
+	tb.sched.Run()
+
+	if *c1 != 10 || *c2 != 10 || *c3 != 10 {
+		t.Fatalf("deliveries h1=%d h2=%d h3=%d, want 10 each", *c1, *c2, *c3)
+	}
+	if out := tb.net.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool Outstanding = %d after full fan-out drain, want 0", out)
+	}
+}
+
+// A branch that never grafts (h3 stays out) and an interface the gatekeeper
+// denies (h2 never joins) must not leak the references they never took.
+func TestPoolBalancedWithDeniedBranches(t *testing.T) {
+	tb := newTestbed(t)
+	cl1 := NewClient(tb.h1, tb.e1.Addr())
+	tb.sched.At(0, func() { cl1.Join(grp) })
+	tb.sched.At(sim.Second, func() { tb.sendPooled(grp, 7) })
+	tb.sched.Run()
+
+	if got := tb.h1.Received[packet.ProtoFLID]; got != 7 {
+		t.Fatalf("h1 received %d, want 7", got)
+	}
+	if got := tb.h2.Received[packet.ProtoFLID] + tb.h3.Received[packet.ProtoFLID]; got != 0 {
+		t.Fatalf("non-members received %d packets", got)
+	}
+	if out := tb.net.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0", out)
+	}
+}
+
+// sendPooled mints pooled session packets from the testbed source.
+func (tb *testbed) sendPooled(g packet.Addr, n int) {
+	for i := 0; i < n; i++ {
+		tb.src.Send(tb.net.NewPacket(tb.src.Addr(), g, 576,
+			&packet.FLIDHeader{Group: 1, Seq: uint16(i + 1)}))
+	}
+}

@@ -25,6 +25,11 @@ type Gatekeeper interface {
 // LocalTransformer is an optional Gatekeeper extension: rewrite a packet
 // just before delivery onto a specific local interface. SIGMA uses it for
 // ECN component scrubbing and §4.2 interface keying.
+//
+// The packet arrives with one caller-owned reference. Implementations that
+// need to alter it must go through Packet.Writable (copy-on-write) and
+// return the resulting packet; the caller continues with — and owns — the
+// returned reference.
 type LocalTransformer interface {
 	TransformLocal(pkt *packet.Packet, host packet.Addr) *packet.Packet
 }
@@ -100,15 +105,16 @@ func (r *Router) Graft(group packet.Addr) { r.fabric.Graft(group, r.id) }
 func (r *Router) Prune(group packet.Addr) { r.fabric.Prune(group, r.id) }
 
 // SendLocal transmits a packet directly onto the local interface of the
-// addressed host (used for SIGMA acknowledgments).
+// addressed host (used for SIGMA acknowledgments). It consumes the caller's
+// reference even when no local link exists.
 func (r *Router) SendLocal(pkt *packet.Packet) {
-	id, ok := r.net.HostByAddr(pkt.Dst)
-	if !ok {
-		return
+	if id, ok := r.net.HostByAddr(pkt.Dst); ok {
+		if l := r.net.LinkBetween(r.id, id); l != nil {
+			l.Send(pkt)
+			return
+		}
 	}
-	if l := r.net.LinkBetween(r.id, id); l != nil {
-		l.Send(pkt)
-	}
+	pkt.Release()
 }
 
 // Receive implements netsim.Node. Routing logic:
@@ -116,16 +122,24 @@ func (r *Router) SendLocal(pkt *packet.Packet) {
 //   - unicast elsewhere → forward along the shortest path;
 //   - multicast → replicate along the group tree, intercept router-alert
 //     packets at the gatekeeper, and deliver onto entitled local interfaces.
+//
+// The router owns the delivery reference it receives. Multicast fan-out
+// shares the envelope: every downstream branch and local delivery takes its
+// own reference with Retain instead of cloning, and the incoming reference
+// is released when replication is done.
 func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 	if !pkt.Dst.IsMulticast() {
 		if pkt.Dst == r.addr {
 			if r.gate != nil {
 				r.gate.Control(pkt, pkt.Src)
 			}
+			pkt.Release()
 			return
 		}
 		if next := r.net.NextHopLink(r.id, pkt.Dst); next != nil {
 			next.Send(pkt)
+		} else {
+			pkt.Release()
 		}
 		return
 	}
@@ -142,7 +156,7 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 			continue // never reflect back upstream
 		}
 		if r.fabric.ShouldForward(group, out) {
-			out.Send(pkt.Clone())
+			out.Send(pkt.Retain())
 			r.ForwardedMcast++
 		}
 	}
@@ -153,6 +167,7 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 		if r.gate != nil && len(r.locals) > 0 {
 			r.gate.Intercept(pkt)
 		}
+		pkt.Release()
 		return
 	}
 
@@ -163,12 +178,13 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 			continue
 		}
 		if l := r.net.LinkBetween(r.id, h.ID()); l != nil {
-			out := pkt
+			out := pkt.Retain()
 			if transformer != nil {
-				out = transformer.TransformLocal(pkt, addr)
+				out = transformer.TransformLocal(out, addr)
 			}
-			l.Send(out.Clone())
+			l.Send(out)
 			r.DeliveredLocal++
 		}
 	}
+	pkt.Release()
 }

@@ -12,43 +12,44 @@ import (
 // notification"). Storage is a head-indexed ring: a continuously busy
 // bottleneck cycles packets through a fixed backing array instead of
 // creeping down an ever-growing slice.
+//
+// The queue participates in the pooled packet lifecycle: it owns one
+// reference to every queued packet, releases it on a drop-tail drop, and
+// hands it onward on pop. ECN marking goes through Writable, so a shared
+// multicast envelope is copied-on-write while a sole owner is marked in
+// place.
 type Queue struct {
 	CapBytes  int // maximum queued bytes; <=0 means unbounded
 	MarkAt    int // ECN-mark packets enqueued beyond this many bytes; 0 disables
 	bytes     int
-	ring      []*packet.Packet // ring storage; len is the current capacity
-	head      int              // index of the oldest packet
-	count     int              // packets queued
+	ring      ring[*packet.Packet]
 	Dropped   uint64
 	Marked    uint64
 	MaxFilled int
 }
 
 // Len reports the number of queued packets.
-func (q *Queue) Len() int { return q.count }
+func (q *Queue) Len() int { return q.ring.len() }
 
 // Bytes reports the queued byte total.
 func (q *Queue) Bytes() int { return q.bytes }
 
-// push appends pkt if it fits, returning false on a drop-tail drop. When the
-// queue is in marking mode and occupancy exceeds MarkAt, the packet is
-// CE-marked instead of dropped (marking replaces loss as the congestion
-// signal; capacity still backstops).
+// push appends pkt if it fits, returning false on a drop-tail drop (the
+// dropped packet's reference is released). When the queue is in marking mode
+// and occupancy exceeds MarkAt, the packet is CE-marked instead of dropped
+// (marking replaces loss as the congestion signal; capacity still backstops).
 func (q *Queue) push(pkt *packet.Packet) bool {
 	if q.CapBytes > 0 && q.bytes+pkt.Size > q.CapBytes {
 		q.Dropped++
+		pkt.Release()
 		return false
 	}
 	if q.MarkAt > 0 && q.bytes >= q.MarkAt {
-		pkt = pkt.Clone()
+		pkt = pkt.Writable()
 		pkt.ECN = true
 		q.Marked++
 	}
-	if q.count == len(q.ring) {
-		q.grow()
-	}
-	q.ring[(q.head+q.count)%len(q.ring)] = pkt
-	q.count++
+	q.ring.push(pkt)
 	q.bytes += pkt.Size
 	if q.bytes > q.MaxFilled {
 		q.MaxFilled = q.bytes
@@ -56,37 +57,34 @@ func (q *Queue) push(pkt *packet.Packet) bool {
 	return true
 }
 
-// grow doubles the ring, unwrapping the queued packets to the front.
-func (q *Queue) grow() {
-	n := 2 * len(q.ring)
-	if n == 0 {
-		n = 8
-	}
-	next := make([]*packet.Packet, n)
-	for i := 0; i < q.count; i++ {
-		next[i] = q.ring[(q.head+i)%len(q.ring)]
-	}
-	q.ring = next
-	q.head = 0
-}
-
 // pop removes and returns the head packet, or nil when empty.
 func (q *Queue) pop() *packet.Packet {
-	if q.count == 0 {
-		return nil
+	pkt := q.ring.pop()
+	if pkt != nil {
+		q.bytes -= pkt.Size
 	}
-	pkt := q.ring[q.head]
-	q.ring[q.head] = nil
-	q.head = (q.head + 1) % len(q.ring)
-	q.count--
-	q.bytes -= pkt.Size
 	return pkt
+}
+
+// flight is one packet in propagation: serialization finished, delivery
+// pending at `at`. seq is the tie-break sequence reserved when the flight
+// was created, so the single reusable delivery timer fires each flight
+// exactly where an individually scheduled event would have.
+type flight struct {
+	pkt *packet.Packet
+	at  sim.Time
+	seq uint64
 }
 
 // Link is a unidirectional rate/delay pipe with an attached queue. A duplex
 // connection is a pair of Links. Transmission serializes packets at Rate;
 // after serialization the packet propagates for Delay and is delivered to
 // the destination node.
+//
+// The steady-state transmission path allocates nothing: one reusable timer
+// tracks the serialization of the head packet, a second walks the FIFO of
+// in-flight packets (propagation delay is constant per link, so deliveries
+// are strictly FIFO), and the in-flight ring recycles its backing array.
 type Link struct {
 	src, dst Node
 	Rate     int64    // bits per second
@@ -95,12 +93,25 @@ type Link struct {
 	sched    *sim.Scheduler
 	busy     bool
 
+	cur          *packet.Packet // packet currently serializing
+	txTimer      sim.Timer      // fires when cur finishes serializing
+	deliverTimer sim.Timer      // fires at the head flight's delivery time
+	flights      ring[flight]   // FIFO of packets in propagation
+
 	// Delivered counts packets handed to dst.
 	Delivered uint64
 	// SentBytes counts bytes that completed serialization.
 	SentBytes uint64
-	// OnDeliver, when set, observes every delivery (tracing hook).
+	// OnDeliver, when set, observes every delivery (tracing hook). The
+	// packet is released after delivery; observers must not retain it
+	// without Retain.
 	OnDeliver func(pkt *packet.Packet)
+}
+
+// init wires the link's reusable timers; called once by Connect.
+func (l *Link) init() {
+	l.txTimer = l.sched.MakeTimer(l.onTxDone)
+	l.deliverTimer = l.sched.MakeTimer(l.onDeliver)
 }
 
 // From returns the upstream node.
@@ -119,7 +130,8 @@ func (l *Link) txTime(size int) sim.Time {
 	return sim.Time(int64(size) * 8 * int64(sim.Second) / l.Rate)
 }
 
-// Send enqueues pkt for transmission, dropping it if the queue is full.
+// Send enqueues pkt for transmission, taking ownership of one reference;
+// a drop-tail drop releases it.
 func (l *Link) Send(pkt *packet.Packet) {
 	if !l.Queue.push(pkt) {
 		return
@@ -136,18 +148,44 @@ func (l *Link) startTransmission() {
 		return
 	}
 	l.busy = true
-	tx := l.txTime(pkt.Size)
-	l.sched.After(tx, func() {
-		l.SentBytes += uint64(pkt.Size)
-		// Propagation is pipelined: the next packet starts serializing
-		// immediately while this one is in flight.
-		l.sched.After(l.Delay, func() {
-			l.Delivered++
-			if l.OnDeliver != nil {
-				l.OnDeliver(pkt)
-			}
-			l.dst.Receive(pkt, l)
-		})
-		l.startTransmission()
-	})
+	l.cur = pkt
+	l.txTimer.Reset(l.txTime(pkt.Size))
+}
+
+// onTxDone finishes serializing the current packet: it enters propagation
+// (pipelined — the next packet starts serializing immediately) and is
+// delivered Delay later by the delivery timer.
+func (l *Link) onTxDone() {
+	pkt := l.cur
+	l.cur = nil
+	l.SentBytes += uint64(pkt.Size)
+	f := flight{pkt: pkt, at: l.sched.Now() + l.Delay, seq: l.sched.ReserveSeq()}
+	wasEmpty := l.flights.len() == 0
+	l.flights.push(f)
+	if wasEmpty {
+		l.deliverTimer.ResetReserved(f.at, f.seq)
+	}
+	l.startTransmission()
+}
+
+// onDeliver hands the head in-flight packet to the destination node and
+// re-arms for the next one. Receive takes over the packet's reference.
+func (l *Link) onDeliver() {
+	f := l.flights.pop()
+	l.Delivered++
+	if l.OnDeliver != nil {
+		l.OnDeliver(f.pkt)
+	}
+	l.dst.Receive(f.pkt, l)
+	if l.flights.len() > 0 {
+		next := l.flights.peek()
+		at := next.at
+		if at < l.sched.Now() {
+			// Delay was lowered mid-run while older flights were still in
+			// propagation; the FIFO pipeline then delivers the newer packet
+			// as soon as the older one is out rather than rewinding time.
+			at = l.sched.Now()
+		}
+		l.deliverTimer.ResetReserved(at, next.seq)
+	}
 }

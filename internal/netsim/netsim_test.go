@@ -135,7 +135,7 @@ func TestQueueRingDoesNotGrowWhenBusy(t *testing.T) {
 			t.Fatal("push failed on unbounded queue")
 		}
 	}
-	ringCap := len(q.ring)
+	ringCap := q.ring.capacity()
 	for i := 0; i < 100*depth; i++ {
 		if q.pop() == nil {
 			t.Fatalf("pop %d returned nil from non-empty queue", i)
@@ -143,7 +143,7 @@ func TestQueueRingDoesNotGrowWhenBusy(t *testing.T) {
 		if !q.push(packet.New(1, 2, 100, nil)) {
 			t.Fatalf("push %d failed", i)
 		}
-		if got := len(q.ring); got != ringCap {
+		if got := q.ring.capacity(); got != ringCap {
 			t.Fatalf("ring grew from %d to %d after %d steady-state cycles", ringCap, got, i+1)
 		}
 	}

@@ -19,6 +19,7 @@ const hostAddrBase packet.Addr = 0x0A000001
 type Network struct {
 	sched *sim.Scheduler
 	rng   *sim.RNG
+	pool  *packet.Pool
 
 	nodes  []Node
 	out    map[NodeID][]*Link
@@ -31,11 +32,13 @@ type Network struct {
 }
 
 // New creates an empty network driven by sched, drawing any randomness from
-// rng (components fork their own sub-streams).
+// rng (components fork their own sub-streams). The network owns a fresh
+// packet pool; SetPool swaps in a shared one before traffic starts.
 func New(sched *sim.Scheduler, rng *sim.RNG) *Network {
 	return &Network{
 		sched:    sched,
 		rng:      rng,
+		pool:     &packet.Pool{},
 		out:      make(map[NodeID][]*Link),
 		linkTo:   make(map[NodeID]map[NodeID]*Link),
 		addrOf:   make(map[packet.Addr]NodeID),
@@ -49,10 +52,31 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // RNG returns the network's randomness source.
 func (n *Network) RNG() *sim.RNG { return n.rng }
 
+// Pool returns the packet pool every agent on this network draws from.
+func (n *Network) Pool() *packet.Pool { return n.pool }
+
+// SetPool replaces the network's packet pool — campaign workers inject a
+// worker-local pool here so consecutive grid points reuse one warm freelist.
+// Must be called before any traffic is generated.
+func (n *Network) SetPool(p *packet.Pool) {
+	if p != nil {
+		n.pool = p
+	}
+}
+
 // NewUID issues a unique packet identifier for tracing.
 func (n *Network) NewUID() uint64 {
 	n.uid++
 	return n.uid
+}
+
+// NewPacket builds a pooled packet with a fresh trace UID — the standard
+// way agents mint traffic. The caller owns the returned reference and
+// transfers it by sending.
+func (n *Network) NewPacket(src, dst packet.Addr, size int, hdr packet.Header) *packet.Packet {
+	p := n.pool.Get(src, dst, size, hdr)
+	p.UID = n.NewUID()
+	return p
 }
 
 // Add registers a node constructed by make with a freshly assigned ID.
@@ -103,6 +127,8 @@ func (n *Network) Connect(a, b Node, rate int64, delay sim.Time, qcap int) (*Lin
 	}
 	ab := &Link{src: a, dst: b, Rate: rate, Delay: delay, sched: n.sched, Queue: Queue{CapBytes: qcap}}
 	ba := &Link{src: b, dst: a, Rate: rate, Delay: delay, sched: n.sched, Queue: Queue{CapBytes: qcap}}
+	ab.init()
+	ba.init()
 	n.registerLink(ab)
 	n.registerLink(ba)
 	return ab, ba

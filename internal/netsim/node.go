@@ -63,7 +63,9 @@ func (h *Host) Handle(p packet.Proto, fn Handler) { h.handlers[p] = fn }
 // per-protocol handler.
 func (h *Host) HandleAll(fn Handler) { h.anyProto = fn }
 
-// Receive implements Node: account the delivery and dispatch to handlers.
+// Receive implements Node: account the delivery, dispatch to handlers, and
+// release the delivery reference — a handler that keeps the packet beyond
+// its return must Retain it.
 func (h *Host) Receive(pkt *packet.Packet, from *Link) {
 	h.Received[pkt.Proto]++
 	h.RecvBytes += uint64(pkt.Size)
@@ -73,6 +75,7 @@ func (h *Host) Receive(pkt *packet.Packet, from *Link) {
 	if h.anyProto != nil {
 		h.anyProto(pkt)
 	}
+	pkt.Release()
 }
 
 // Send transmits pkt from this host toward pkt.Dst over the host's access

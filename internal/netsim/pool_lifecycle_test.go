@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Every reference issued by the pool must come back: delivery releases at
+// the host, drop-tail releases at the queue. After the network drains, the
+// pool balance is exactly zero.
+func TestPoolBalancedAfterDrainAndDrops(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched, sim.NewRNG(1))
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	// A queue that holds ~2 packets: most of the burst is dropped.
+	ab, _ := n.Connect(a, b, 1_000_000, 5*sim.Millisecond, 2100)
+	n.ComputeRoutes()
+
+	const burst = 20
+	sched.At(0, func() {
+		for i := 0; i < burst; i++ {
+			a.Send(n.NewPacket(a.Addr(), b.Addr(), 1000, nil))
+		}
+	})
+	sched.Run()
+
+	if ab.Queue.Dropped == 0 {
+		t.Fatal("test needs drops to exercise the release-on-drop path")
+	}
+	if got := b.Received[packet.ProtoNone]; got+ab.Queue.Dropped != burst {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got, ab.Queue.Dropped, burst)
+	}
+	if out := n.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool Outstanding = %d after drain, want 0 (leak)", out)
+	}
+	if n.Pool().Issued != burst {
+		t.Fatalf("pool Issued = %d, want %d", n.Pool().Issued, burst)
+	}
+}
+
+// ECN marking must copy-on-write a shared envelope and mark a sole owner in
+// place.
+func TestQueueMarkingCopyOnWrite(t *testing.T) {
+	var pl packet.Pool
+	q := Queue{MarkAt: 1}
+	// Prime occupancy past MarkAt so the next pushes mark.
+	if !q.push(pl.Get(1, 2, 100, nil)) {
+		t.Fatal("priming push failed")
+	}
+
+	shared := pl.Get(1, 2, 100, nil)
+	shared.Retain() // a second branch holds it (multicast fan-out)
+	if !q.push(shared) {
+		t.Fatal("push of shared packet failed")
+	}
+	sole := pl.Get(1, 2, 100, nil)
+	if !q.push(sole) { // occupancy still past MarkAt
+		t.Fatal("push of sole-owned packet failed")
+	}
+
+	q.pop().Release() // priming packet
+	marked := q.pop()
+	if marked == shared {
+		t.Fatal("shared packet was marked in place instead of copied")
+	}
+	if !marked.ECN {
+		t.Fatal("queued copy not CE-marked")
+	}
+	if shared.ECN {
+		t.Fatal("mark leaked into the shared original")
+	}
+	marked.Release()
+	shared.Release() // the fan-out branch's reference
+
+	got := q.pop()
+	if got != sole || !got.ECN {
+		t.Fatalf("sole owner should be marked in place (same envelope): got %p want %p, ECN=%v", got, sole, got.ECN)
+	}
+	got.Release()
+	if out := pl.Outstanding(); out != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0", out)
+	}
+}
+
+// The steady-state unicast hot path — mint, queue, serialize, propagate,
+// deliver, release — must allocate nothing once the pool and scheduler
+// freelists are warm.
+func TestLinkSteadyStateZeroAlloc(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched, sim.NewRNG(1))
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, 10_000_000, sim.Millisecond, 1<<20)
+	n.ComputeRoutes()
+
+	send := func() {
+		sched.Schedule(sched.Now(), func() {
+			a.Send(n.NewPacket(a.Addr(), b.Addr(), 576, nil))
+		})
+		sched.Run()
+	}
+	for i := 0; i < 16; i++ {
+		send() // warm the freelists
+	}
+	if allocs := testing.AllocsPerRun(50, send); allocs > 1 {
+		// The emission closure itself may allocate; the packet, events and
+		// timers must not.
+		t.Fatalf("steady-state send+deliver allocates %.1f objects, want <= 1", allocs)
+	}
+	if out := n.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0", out)
+	}
+}

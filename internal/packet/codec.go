@@ -73,6 +73,7 @@ func Decode(data []byte) (*Packet, error) {
 		Dst:   Addr(binary.BigEndian.Uint32(data[8:])),
 		Size:  int(binary.BigEndian.Uint32(data[12:])),
 		UID:   binary.BigEndian.Uint64(data[16:]),
+		refs:  1,
 	}
 	if p.Size != len(data) {
 		return nil, fmt.Errorf("packet: declared size %d but %d bytes on wire", p.Size, len(data))

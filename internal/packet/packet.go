@@ -70,6 +70,12 @@ type Header interface {
 
 // Packet is one simulated datagram. Size is the total wire size in bytes
 // (headers plus payload padding) and is what links and queues account.
+//
+// Packets are reference-counted (see pool.go): multicast fan-out shares one
+// envelope across branches via Retain/Release, and pooled packets return to
+// their Pool's freelist on the last Release. Header contents are immutable
+// once sent; a hop that must alter the envelope or replace the header calls
+// Writable first (copy-on-write).
 type Packet struct {
 	Src, Dst Addr
 	Proto    Proto
@@ -78,14 +84,20 @@ type Packet struct {
 	Alert    bool // router-alert: edge routers intercept, never forward to hosts
 	UID      uint64
 	Header   Header
+
+	refs int32
+	pool *Pool
 }
 
 // CommonWireLen is the encoded length of the common header.
 const CommonWireLen = 24
 
-// New builds a packet around hdr, sizing it to max(size, header bytes).
-func New(src, dst Addr, size int, hdr Header) *Packet {
-	p := &Packet{Src: src, Dst: dst, Size: size, Header: hdr}
+// init fills a zeroed envelope: one reference, proto derived from the
+// header, and Size floored at the encoded header bytes. Shared by New and
+// Pool.Get so pooled and un-pooled packets can never disagree on sizing.
+func (p *Packet) init(src, dst Addr, size int, hdr Header) {
+	p.refs = 1
+	p.Src, p.Dst, p.Size, p.Header = src, dst, size, hdr
 	if hdr != nil {
 		p.Proto = hdr.HeaderProto()
 		if min := CommonWireLen + hdr.WireLen(); p.Size < min {
@@ -94,15 +106,24 @@ func New(src, dst Addr, size int, hdr Header) *Packet {
 	} else if p.Size < CommonWireLen {
 		p.Size = CommonWireLen
 	}
+}
+
+// New builds a packet around hdr, sizing it to max(size, header bytes). The
+// packet is heap-allocated and never pooled; hot paths use Pool.Get instead.
+func New(src, dst Addr, size int, hdr Header) *Packet {
+	p := &Packet{}
+	p.init(src, dst, size, hdr)
 	return p
 }
 
-// Clone returns a shallow copy; headers are immutable by convention once a
-// packet is sent, so multicast replication clones the envelope only. A
-// router that must alter a header (the ECN component scrub) replaces the
-// header value rather than mutating the shared one.
+// Clone returns an independent un-pooled shallow copy; headers are immutable
+// by convention once a packet is sent, so cloning copies the envelope only.
+// The simulator's replication paths use Retain/Writable instead — Clone
+// remains for callers outside the pooled lifecycle (tests, one-shot tools).
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.refs = 1
+	q.pool = nil
 	return &q
 }
 

@@ -1,0 +1,115 @@
+package packet
+
+// Pool recycles Packet envelopes through a reference-counted lifecycle so
+// the simulation hot path allocates no packets in steady state. One Pool
+// belongs to one experiment (one scheduler); everything is single-threaded
+// within an experiment, so counts are plain ints.
+//
+// Ownership rules (see DESIGN.md "Memory model"):
+//   - Get returns a packet holding one reference, owned by the caller.
+//   - Sending a packet transfers that reference to the network: the link
+//     queue owns it while queued and in flight, and Release is called by
+//     whoever terminates delivery — the queue on a drop-tail drop, the host
+//     after its handlers return, the router after replicating.
+//   - A component that keeps a packet beyond the transfer (retransmission
+//     buffers) or replicates it (multicast fan-out) takes its own reference
+//     with Retain and Releases it when done.
+//   - A hop that must alter a shared packet (ECN marking, component
+//     scrubbing) calls Writable first: sole owners are mutated in place,
+//     shared packets are copied-on-write into a fresh pooled envelope.
+type Pool struct {
+	free []*Packet
+
+	// Issued counts packets handed out (fresh or recycled); Recycled counts
+	// envelopes returned to the freelist; Fresh counts heap allocations.
+	Issued   uint64
+	Recycled uint64
+	Fresh    uint64
+}
+
+// envelope pops a recycled envelope (or heap-allocates a fresh one) and
+// counts it as issued. Callers must fully initialize every field.
+func (pl *Pool) envelope() *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+	} else {
+		p = &Packet{}
+		pl.Fresh++
+	}
+	pl.Issued++
+	return p
+}
+
+// Get returns a packet owned by the caller (reference count 1), built
+// exactly like New but drawing the envelope from the pool when possible.
+func (pl *Pool) Get(src, dst Addr, size int, hdr Header) *Packet {
+	p := pl.envelope()
+	*p = Packet{pool: pl}
+	p.init(src, dst, size, hdr)
+	return p
+}
+
+// Outstanding reports how many issued packets have not been released back —
+// the leak gauge experiments assert on after draining their traffic.
+func (pl *Pool) Outstanding() uint64 { return pl.Issued - pl.Recycled }
+
+// FreePackets reports the freelist depth (test observability).
+func (pl *Pool) FreePackets() int { return len(pl.free) }
+
+// Retain takes an additional reference on the packet and returns it, so
+// multicast fan-out shares one immutable envelope across all downstream
+// branches instead of cloning per branch. Packets built with New (no pool)
+// are reference-counted too — they just never return to a freelist.
+func (p *Packet) Retain() *Packet {
+	p.refs++
+	return p
+}
+
+// Release drops one reference; the last release returns a pooled envelope
+// to its freelist. Releasing more times than retained is a lifecycle bug
+// and panics rather than corrupting the pool.
+func (p *Packet) Release() {
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic("packet: Release without matching Retain/Get")
+	}
+	if p.pool == nil {
+		return // un-pooled packet: the GC owns it
+	}
+	pl := p.pool
+	pl.Recycled++
+	p.Header = nil // drop the header reference while parked
+	pl.free = append(pl.free, p)
+}
+
+// Refs reports the current reference count (test observability).
+func (p *Packet) Refs() int { return int(p.refs) }
+
+// Writable prepares the packet for mutation under the copy-on-write rule:
+// a sole owner is returned as-is, while a shared packet is copied into a
+// fresh envelope (pooled when possible) and the caller's reference on the
+// original is released. The caller must continue with the returned packet.
+// Both branches are full struct copies, so every Packet field — present
+// and future — survives the CoW identically to Clone.
+func (p *Packet) Writable() *Packet {
+	if p.refs <= 1 {
+		return p
+	}
+	var q *Packet
+	if pl := p.pool; pl != nil {
+		q = pl.envelope()
+		*q = *p
+	} else {
+		c := *p
+		q = &c
+	}
+	q.refs = 1
+	p.Release()
+	return q
+}

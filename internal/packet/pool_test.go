@@ -1,0 +1,109 @@
+package packet
+
+import "testing"
+
+func TestPoolGetRecyclesEnvelopes(t *testing.T) {
+	var pl Pool
+	p := pl.Get(1, 2, 100, nil)
+	if p.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", p.Refs())
+	}
+	p.Release()
+	if pl.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after release, want 0", pl.Outstanding())
+	}
+	q := pl.Get(3, 4, 200, nil)
+	if q != p {
+		t.Fatal("Get did not reuse the released envelope")
+	}
+	if q.Src != 3 || q.Dst != 4 || q.Size != 200 || q.Header != nil || q.ECN {
+		t.Fatalf("recycled envelope kept stale fields: %+v", q)
+	}
+	if pl.Fresh != 1 {
+		t.Fatalf("Fresh = %d, want 1 (second Get must come from the freelist)", pl.Fresh)
+	}
+	q.Release()
+}
+
+func TestRetainReleaseFanOut(t *testing.T) {
+	var pl Pool
+	p := pl.Get(1, MulticastBase, 576, nil)
+	// Fan out to 3 branches: each takes its own reference.
+	for i := 0; i < 3; i++ {
+		p.Retain()
+	}
+	p.Release() // the replicating hop drops its incoming reference
+	if p.Refs() != 3 {
+		t.Fatalf("Refs = %d after fan-out, want 3", p.Refs())
+	}
+	for i := 0; i < 3; i++ {
+		if pl.Outstanding() != 1 {
+			t.Fatalf("Outstanding = %d mid-fan-out, want 1", pl.Outstanding())
+		}
+		p.Release()
+	}
+	if pl.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after all branches released, want 0", pl.Outstanding())
+	}
+	if pl.FreePackets() != 1 {
+		t.Fatalf("FreePackets = %d, want 1", pl.FreePackets())
+	}
+}
+
+func TestWritableCopiesOnlyWhenShared(t *testing.T) {
+	var pl Pool
+	sole := pl.Get(1, 2, 100, nil)
+	if got := sole.Writable(); got != sole {
+		t.Fatal("sole owner should be mutated in place, not copied")
+	}
+
+	shared := pl.Get(1, 2, 100, nil)
+	shared.UID = 42
+	shared.Retain()
+	cow := shared.Writable()
+	if cow == shared {
+		t.Fatal("shared packet must be copied on write")
+	}
+	if cow.Refs() != 1 || shared.Refs() != 1 {
+		t.Fatalf("refs after CoW: copy=%d orig=%d, want 1/1", cow.Refs(), shared.Refs())
+	}
+	if cow.UID != 42 || cow.Src != 1 || cow.Dst != 2 || cow.Size != 100 {
+		t.Fatalf("CoW copy lost fields: %+v", cow)
+	}
+	cow.ECN = true
+	if shared.ECN {
+		t.Fatal("mutating the CoW copy leaked into the shared original")
+	}
+	sole.Release()
+	cow.Release()
+	shared.Release()
+	if pl.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after full drain, want %d", pl.Outstanding(), 0)
+	}
+}
+
+func TestWritableUnpooledPacket(t *testing.T) {
+	p := New(1, 2, 100, nil)
+	p.Retain()
+	q := p.Writable()
+	if q == p {
+		t.Fatal("shared un-pooled packet must still copy on write")
+	}
+	if p.Refs() != 1 || q.Refs() != 1 {
+		t.Fatalf("refs after un-pooled CoW: orig=%d copy=%d", p.Refs(), q.Refs())
+	}
+	p.Release() // no-op for the GC-owned envelope, must not panic
+	q.Release()
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	var pl Pool
+	p := pl.Get(1, 2, 100, nil)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release should panic")
+		}
+	}()
+	p.Release()
+}

@@ -73,15 +73,14 @@ func (a *Announcer) announceOn(group packet.Addr, slot uint32, tuples []packet.K
 			FECTotal: uint8(a.Repeat),
 			Tuples:   tuples,
 		}
-		pkt := packet.New(a.host.Addr(), group, 0, hdr)
+		pkt := a.host.Network().NewPacket(a.host.Addr(), group, 0, hdr)
 		pkt.Alert = true
-		pkt.UID = a.host.Network().NewUID()
 		a.PacketsSent++
 		a.BytesSent += uint64(pkt.Size)
 		a.HeaderBytes += uint64(packet.CommonWireLen + hdr.WireLen() - len(tuples)*29)
 		a.TupleBytes += uint64(len(tuples) * 29)
 		if a.Spacing > 0 && i > 0 {
-			a.host.Scheduler().After(sim.Time(i)*a.Spacing, func() { a.host.Send(pkt) })
+			a.host.Scheduler().ScheduleAfter(sim.Time(i)*a.Spacing, func() { a.host.Send(pkt) })
 		} else {
 			a.host.Send(pkt)
 		}

@@ -90,5 +90,5 @@ func (a *GuessAttack) attackSlot() {
 	if len(pairs) > 0 {
 		a.client.Subscribe(target, pairs)
 	}
-	sched.At(a.sess.SlotStart(cur+1)+7*a.sess.SlotDur/10, func() { a.attackSlot() })
+	sched.Schedule(a.sess.SlotStart(cur+1)+7*a.sess.SlotDur/10, func() { a.attackSlot() })
 }

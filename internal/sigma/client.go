@@ -58,15 +58,14 @@ func (c *Client) onSigma(pkt *packet.Packet) {
 	if p := c.pending[hdr.AckID]; p != nil {
 		p.timer.Stop()
 		delete(c.pending, hdr.AckID)
+		p.pkt.Release()
 		c.AcksReceived++
 	}
 }
 
-func (c *Client) send(hdr *packet.SigmaHeader) *packet.Packet {
-	pkt := packet.New(c.host.Addr(), c.router, 0, hdr)
-	pkt.UID = c.host.Network().NewUID()
-	c.host.Send(pkt)
-	return pkt
+// send mints a pooled message and transmits it, fire-and-forget.
+func (c *Client) send(hdr *packet.SigmaHeader) {
+	c.host.Send(c.host.Network().NewPacket(c.host.Addr(), c.router, 0, hdr))
 }
 
 // SessionJoin asks for keyless admission into the session via its minimal
@@ -77,28 +76,34 @@ func (c *Client) SessionJoin(minimal packet.Addr) {
 
 // Subscribe submits address-key pairs for a time slot (Figure 6b) and
 // retransmits until acknowledged. It returns the message's ack identifier.
+// The retransmission buffer holds its own reference on the pooled message
+// (taken before the send, so a drop-tail drop cannot recycle it) and the
+// same envelope is re-sent with Retain instead of cloned per try.
 func (c *Client) Subscribe(slot uint32, pairs []packet.AddrKey) uint32 {
 	c.nextID++
 	id := c.nextID
 	hdr := &packet.SigmaHeader{Kind: packet.SigmaSubscribe, Slot: slot, AckID: id, Pairs: pairs}
-	pkt := c.send(hdr)
-	p := &pendingSub{pkt: pkt, tries: 1}
+	pkt := c.host.Network().NewPacket(c.host.Addr(), c.router, 0, hdr)
+	p := &pendingSub{pkt: pkt.Retain(), tries: 1}
+	c.host.Send(pkt)
 	c.pending[id] = p
-	c.armRetransmit(id, p)
+	p.timer = c.sched.NewTimer(func() { c.retransmit(id, p) })
+	p.timer.Reset(c.RTO)
 	return id
 }
 
-func (c *Client) armRetransmit(id uint32, p *pendingSub) {
-	p.timer = c.sched.After(c.RTO, func() {
-		if p.tries >= c.MaxTries {
-			delete(c.pending, id)
-			return
-		}
-		p.tries++
-		c.Retransmits++
-		c.host.Send(p.pkt.Clone())
-		c.armRetransmit(id, p)
-	})
+// retransmit re-sends an unacknowledged subscription message, reusing the
+// pending entry's timer and packet for the whole retry ladder.
+func (c *Client) retransmit(id uint32, p *pendingSub) {
+	if p.tries >= c.MaxTries {
+		delete(c.pending, id)
+		p.pkt.Release()
+		return
+	}
+	p.tries++
+	c.Retransmits++
+	c.host.Send(p.pkt.Retain())
+	p.timer.Reset(c.RTO)
 }
 
 // Unsubscribe abandons groups immediately (Figure 6c); it is fire-and-

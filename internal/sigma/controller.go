@@ -73,10 +73,11 @@ type Controller struct {
 	sched  *sim.Scheduler
 	cfg    Config
 
-	store   map[packet.Addr]map[uint32]storedKeys
-	ifaces  map[packet.Addr]*iface
-	grafted map[packet.Addr]bool
-	seen    map[[2]uint64]bool // announce dedup: (session<<32|slot, fecIndex)
+	store     map[packet.Addr]map[uint32]storedKeys
+	ifaces    map[packet.Addr]*iface
+	grafted   map[packet.Addr]bool
+	seen      map[[2]uint64]bool // announce dedup: (session<<32|slot, fecIndex)
+	tickTimer *sim.Timer         // reusable per-slot housekeeping timer
 
 	// alter, when non-nil, applies §4.2 interface keying; see keying.go.
 	alter *InterfaceKeying
@@ -113,7 +114,8 @@ func NewController(router *mcast.Router, cfg Config) *Controller {
 		seen:    make(map[[2]uint64]bool),
 	}
 	router.SetGatekeeper(c)
-	c.scheduleTick()
+	c.tickTimer = c.sched.NewTimer(c.onTick)
+	c.tickTimer.Reset(c.cfg.SlotDuration)
 	return c
 }
 
@@ -138,11 +140,10 @@ func (c *Controller) graceDeadline() sim.Time {
 	return nextBoundary + sim.Time(c.cfg.GraceSlots)*c.cfg.SlotDuration
 }
 
-func (c *Controller) scheduleTick() {
-	c.sched.After(c.cfg.SlotDuration, func() {
-		c.tick()
-		c.scheduleTick()
-	})
+// onTick fires once per slot on the reusable housekeeping timer.
+func (c *Controller) onTick() {
+	c.tick()
+	c.tickTimer.Reset(c.cfg.SlotDuration)
 }
 
 // tick runs once per slot: garbage-collects stale state and prunes groups
@@ -358,10 +359,9 @@ func (c *Controller) subscribe(from packet.Addr, hdr *packet.SigmaHeader) {
 		}
 	}
 	// Acknowledge the subscription message (reliable subscription).
-	ack := packet.New(c.router.Addr(), from, 0, &packet.SigmaHeader{
+	ack := c.router.Network().NewPacket(c.router.Addr(), from, 0, &packet.SigmaHeader{
 		Kind: packet.SigmaAck, Slot: hdr.Slot, AckID: hdr.AckID,
 	})
-	ack.UID = c.router.Network().NewUID()
 	c.Acked++
 	c.router.SendLocal(ack)
 }

@@ -23,18 +23,20 @@ func (c *Controller) EnableInterfaceKeying(base packet.Addr, n int, src *keys.So
 }
 
 // TransformLocal implements mcast.LocalTransformer: apply ECN scrubbing and
-// interface keying to data packets bound for one local interface.
+// interface keying to data packets bound for one local interface. Altering
+// goes through Writable, so the shared multicast envelope is copied-on-write
+// only on the rare mutating delivery.
 func (c *Controller) TransformLocal(pkt *packet.Packet, host packet.Addr) *packet.Packet {
 	out := pkt
 	if c.scrubSrc != nil && pkt.ECN {
-		out = out.Clone()
+		out = out.Writable()
 		out.Header = delta.ScrubComponent(out.Header, c.scrubSrc.Nonce())
 	}
 	if c.alter != nil {
 		if h, ok := out.Header.(*packet.FLIDHeader); ok {
 			altered := c.alter.Alter(host, h)
 			if altered != h {
-				out = out.Clone()
+				out = out.Writable()
 				out.Header = altered
 			}
 		}

@@ -8,6 +8,13 @@
 // deterministic: two events at the same virtual time fire in the order they
 // were scheduled. Determinism is what makes the integration tests and the
 // figure-regeneration harness reproducible down to the packet.
+//
+// The hot path is allocation-free in steady state: fired and stopped events
+// return to a per-scheduler freelist and are recycled by later Schedule/At
+// calls, and a Timer can be re-armed in place with Reset so periodic and
+// retransmission timers reuse one event for their whole lifetime. Timer
+// handles are generation-guarded, so a handle to a fired-and-recycled event
+// safely reads as inactive instead of resurrecting someone else's event.
 package sim
 
 import (
@@ -52,6 +59,11 @@ type event struct {
 	// removes its event from the heap immediately, so no dead events ever
 	// drain through the run loop.
 	idx int
+	// gen counts how many times this event object has been recycled through
+	// the scheduler freelist. A Timer snapshots gen when it arms; a mismatch
+	// means the event fired (or was stopped) and now belongs to someone else,
+	// so the handle is stale and must not touch it.
+	gen uint64
 }
 
 type eventHeap []*event
@@ -91,6 +103,7 @@ func (h *eventHeap) Pop() any {
 // usable; construct with NewScheduler.
 type Scheduler struct {
 	heap    eventHeap
+	free    []*event // recycled events, reused by alloc
 	now     Time
 	seq     uint64
 	stopped bool
@@ -113,16 +126,63 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // the heap immediately and are not counted.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// At schedules f to run at absolute virtual time t. Scheduling in the past
-// panics: it is always a logic error in a discrete-event model.
-func (s *Scheduler) At(t Time, f func()) *Timer {
+// FreeEvents reports how many recycled events sit on the freelist — steady
+// state keeps this roughly constant while alloc traffic drops to zero.
+func (s *Scheduler) FreeEvents() int { return len(s.free) }
+
+// alloc produces a pending event at time t running f, reusing a recycled
+// event when one is available, and pushes it onto the heap.
+func (s *Scheduler) alloc(t Time, f func()) *event {
+	return s.allocSeq(t, f, s.ReserveSeq())
+}
+
+// allocSeq is alloc with an explicit tie-break sequence (already reserved).
+func (s *Scheduler) allocSeq(t Time, f func(), seq uint64) *event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	e := &event{at: t, seq: s.seq, do: f}
-	s.seq++
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at = t
+		e.do = f
+	} else {
+		e = &event{at: t, do: f}
+	}
+	e.seq = seq
 	heap.Push(&s.heap, e)
-	return &Timer{sched: s, ev: e}
+	return e
+}
+
+// recycle returns a popped or removed event to the freelist. Bumping gen
+// invalidates every Timer handle still pointing at the event; clearing do
+// drops the closure so recycled events pin no captured state.
+func (s *Scheduler) recycle(e *event) {
+	e.gen++
+	e.do = nil
+	s.free = append(s.free, e)
+}
+
+// ReserveSeq hands out the next tie-break sequence number without scheduling
+// anything. Components that keep their own FIFO of future work (a link's
+// in-flight delivery pipeline) reserve the seq at the moment the work is
+// created, then arm a single reusable timer per item via Timer.ResetReserved
+// — firing order is then identical to scheduling every item individually.
+func (s *Scheduler) ReserveSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// At schedules f to run at absolute virtual time t and returns a cancellable
+// handle. Scheduling in the past panics: it is always a logic error in a
+// discrete-event model. Hot paths that never cancel should use Schedule,
+// which allocates no handle.
+func (s *Scheduler) At(t Time, f func()) *Timer {
+	e := s.alloc(t, f)
+	return &Timer{sched: s, do: f, ev: e, gen: e.gen}
 }
 
 // After schedules f to run d after the current virtual time.
@@ -133,6 +193,35 @@ func (s *Scheduler) After(d Time, f func()) *Timer {
 	return s.At(s.now+d, f)
 }
 
+// Schedule runs f at absolute virtual time t, fire-and-forget: no Timer
+// handle is allocated, and the event comes from the freelist in steady
+// state, so a Schedule costs zero allocations beyond f's own closure.
+func (s *Scheduler) Schedule(t Time, f func()) {
+	s.alloc(t, f)
+}
+
+// ScheduleAfter runs f a duration d after the current virtual time,
+// fire-and-forget.
+func (s *Scheduler) ScheduleAfter(d Time, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.alloc(s.now+d, f)
+}
+
+// NewTimer returns an unarmed timer that runs f when armed with Reset. One
+// NewTimer at setup plus Reset per cycle is the allocation-free replacement
+// for repeated After calls.
+func (s *Scheduler) NewTimer(f func()) *Timer {
+	return &Timer{sched: s, do: f}
+}
+
+// MakeTimer returns an unarmed timer by value, for embedding in a component
+// struct. The returned Timer must not be copied once armed.
+func (s *Scheduler) MakeTimer(f func()) Timer {
+	return Timer{sched: s, do: f}
+}
+
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
@@ -140,67 +229,131 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // clock passes limit, or Stop is called. The clock is left at the timestamp
 // of the last executed event, or at limit when the horizon is reached with
 // events still pending.
-func (s *Scheduler) RunUntil(limit Time) {
+func (s *Scheduler) RunUntil(limit Time) { s.run(true, limit) }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() { s.run(false, 0) }
+
+// run is the single pop-execute-recycle loop behind Run and RunUntil, so
+// both share freelist and clock semantics exactly.
+func (s *Scheduler) run(bounded bool, limit Time) {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
 		e := s.heap[0]
-		if e.at > limit {
+		if bounded && e.at > limit {
 			s.now = limit
 			return
 		}
 		heap.Pop(&s.heap)
 		s.now = e.at
 		s.fired++
-		e.do()
+		do := e.do
+		// Recycle before running: the event is immediately reusable by
+		// anything do schedules, and the gen bump marks every outstanding
+		// handle to it stale.
+		s.recycle(e)
+		do()
 	}
-	if s.now < limit && !s.stopped {
+	if bounded && s.now < limit && !s.stopped {
 		s.now = limit
 	}
 }
 
-// Run executes events until the queue is empty or Stop is called.
-func (s *Scheduler) Run() {
-	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		e := heap.Pop(&s.heap).(*event)
-		s.now = e.at
-		s.fired++
-		e.do()
-	}
-}
-
-// Timer is a handle to a scheduled event, allowing cancellation and
-// rescheduling — the shape TCP retransmission timers need.
+// Timer is a handle to a scheduled event, allowing cancellation and in-place
+// rescheduling — the shape TCP retransmission timers need. A timer created
+// by NewTimer or MakeTimer starts unarmed and is armed with Reset; a timer
+// returned by At or After is already armed with that call's function.
 type Timer struct {
 	sched *Scheduler
+	do    func()
 	ev    *event
+	gen   uint64
+}
+
+// valid reports whether the handle still owns a pending event: the event
+// must not have been recycled out from under it (gen match) and must still
+// sit in the heap.
+func (t *Timer) valid() bool {
+	return t != nil && t.ev != nil && t.gen == t.ev.gen && t.ev.idx >= 0
 }
 
 // Stop cancels the timer. It is safe to call on a nil handle, repeatedly,
-// and after the event fired. It reports whether the event was still pending.
+// and after the event fired — a stale handle is a no-op, never a cancellation
+// of whatever the recycled event runs now. It reports whether the event was
+// still pending.
 //
-// The event is removed from the scheduler heap immediately — cancelled
-// timers do not linger until their timestamp drains, so workloads that
-// set and cancel many timers (TCP retransmission) keep Pending() and the
-// per-operation O(log n) cost proportional to live events only.
+// The event is removed from the scheduler heap immediately and recycled —
+// cancelled timers do not linger until their timestamp drains, so workloads
+// that set and cancel many timers (TCP retransmission) keep Pending() and
+// the per-operation O(log n) cost proportional to live events only.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+	if !t.valid() {
+		if t != nil {
+			t.ev = nil
+		}
 		return false
 	}
 	heap.Remove(&t.sched.heap, t.ev.idx)
+	t.sched.recycle(t.ev)
+	t.ev = nil
 	return true
 }
 
-// Active reports whether the event is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && t.ev.idx >= 0
-}
+// Active reports whether the event is still pending. Fired, stopped, and
+// recycled events all read as inactive.
+func (t *Timer) Active() bool { return t.valid() }
 
-// When returns the virtual time the timer is set to fire at. Valid only
-// while Active.
+// When returns the virtual time the timer is set to fire at, or 0 when the
+// timer is not Active — a stale handle never reads a recycled event's time.
 func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+	if !t.valid() {
 		return 0
 	}
 	return t.ev.at
+}
+
+// Reset arms the timer to run its function d after the current virtual time.
+// An active timer is rescheduled in place via heap.Fix — no allocation, no
+// heap churn beyond the sift; an inactive one is re-armed from the freelist.
+// Negative d clamps to zero. The timer must have a function (from NewTimer,
+// MakeTimer, At or After).
+func (t *Timer) Reset(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	t.ResetAt(t.sched.now + d)
+}
+
+// ResetAt arms the timer to run its function at absolute virtual time at,
+// rescheduling in place when the timer is active. Like At, arming in the
+// past panics.
+func (t *Timer) ResetAt(at Time) {
+	t.resetAt(at, t.sched.ReserveSeq())
+}
+
+// ResetReserved arms the timer at absolute time at with a tie-break sequence
+// number previously obtained from Scheduler.ReserveSeq. This lets a
+// component that queues future work in its own FIFO fire each item exactly
+// where an individually scheduled event would have fired — the deterministic
+// replay guarantee survives the pooling.
+func (t *Timer) ResetReserved(at Time, seq uint64) {
+	t.resetAt(at, seq)
+}
+
+func (t *Timer) resetAt(at Time, seq uint64) {
+	if t.do == nil {
+		panic("sim: Reset on a timer with no function")
+	}
+	if t.valid() {
+		if at < t.sched.now {
+			panic(fmt.Sprintf("sim: resetting to %v before now %v", at, t.sched.now))
+		}
+		t.ev.at = at
+		t.ev.seq = seq
+		heap.Fix(&t.sched.heap, t.ev.idx)
+		return
+	}
+	e := t.sched.allocSeq(at, t.do, seq)
+	t.ev = e
+	t.gen = e.gen
 }

@@ -81,6 +81,7 @@ func NewSender(host *netsim.Host, dst packet.Addr, flow uint32, cfg Config) *Sen
 		host: host, dst: dst, flow: flow, cfg: cfg,
 		cwnd: 1, ssthresh: cfg.MaxWindow / 2, rto: cfg.InitialRTO,
 	}
+	s.rtoTimer = host.Scheduler().NewTimer(s.onTimeout)
 	host.Handle(packet.ProtoTCP, s.onAck)
 	return s
 }
@@ -122,8 +123,7 @@ func (s *Sender) trySend() {
 
 func (s *Sender) transmit(seq uint32) {
 	hdr := &packet.TCPHeader{Flow: s.flow, Seq: seq, Len: uint32(s.cfg.SegmentSize)}
-	pkt := packet.New(s.host.Addr(), s.dst, s.cfg.SegmentSize, hdr)
-	pkt.UID = s.host.Network().NewUID()
+	pkt := s.host.Network().NewPacket(s.host.Addr(), s.dst, s.cfg.SegmentSize, hdr)
 	s.host.Send(pkt)
 	s.SegmentsSent++
 	if seq < s.maxSent {
@@ -140,20 +140,19 @@ func (s *Sender) transmit(seq uint32) {
 			s.timedAt = s.sched().Now()
 		}
 	}
-	if s.rtoTimer == nil || !s.rtoTimer.Active() {
+	if !s.rtoTimer.Active() {
 		s.armRTO()
 	}
 }
 
+// armRTO (re)schedules the retransmission timeout in place: one timer and
+// one recycled event serve the connection's whole lifetime.
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
 	d := s.rto << uint(s.backoff)
 	if max := 60 * sim.Second; d > max {
 		d = max
 	}
-	s.rtoTimer = s.sched().After(d, s.onTimeout)
+	s.rtoTimer.Reset(d)
 }
 
 func (s *Sender) onTimeout() {
@@ -223,9 +222,7 @@ func (s *Sender) newAck(ack uint32) {
 	}
 
 	if s.flight() == 0 {
-		if s.rtoTimer != nil {
-			s.rtoTimer.Stop()
-		}
+		s.rtoTimer.Stop()
 	} else {
 		s.armRTO()
 	}
@@ -310,9 +307,7 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 		r.outOfOrder[hdr.Seq] = true
 	}
 	ack := &packet.TCPHeader{Flow: r.flow, Ack: r.nextExpected, IsAck: true}
-	ackPkt := packet.New(r.host.Addr(), pkt.Src, r.cfg.AckSize, ack)
-	ackPkt.UID = r.host.Network().NewUID()
-	r.host.Send(ackPkt)
+	r.host.Send(r.host.Network().NewPacket(r.host.Addr(), pkt.Src, r.cfg.AckSize, ack))
 }
 
 func (r *Receiver) advance(bytes int) {

@@ -55,6 +55,7 @@ type Sender struct {
 	ann    *sigma.Announcer
 
 	running bool
+	scratch core.SlotScratch // per-slot auth/counts, reused every slot
 
 	// PacketsSent counts data packets.
 	PacketsSent uint64
@@ -66,7 +67,8 @@ func NewSender(host *netsim.Host, sess *core.Session, thresh []float64, policy c
 	sess.Rates.Validate()
 	s := &Sender{
 		Sess: sess, host: host, policy: policy, rng: rng,
-		pacers: make([]core.Pacer, sess.Rates.N),
+		pacers:  make([]core.Pacer, sess.Rates.N),
+		scratch: core.NewSlotScratch(sess.Rates.N),
 	}
 	for i := range s.pacers {
 		s.pacers[i].MinOne = true
@@ -107,11 +109,10 @@ func (s *Sender) runSlot(slot uint32) {
 	if inc > n {
 		inc = n
 	}
-	auth := make([]bool, n)
+	auth, counts := s.scratch.Begin()
 	for g := 2; g <= inc; g++ {
 		auth[g-1] = true
 	}
-	counts := make([]int, n)
 	for g := 1; g <= n; g++ {
 		counts[g-1] = s.pacers[g-1].Packets(s.Sess.Rates.GroupRate(g), s.Sess.SlotDur, s.Sess.PacketSize)
 	}
@@ -138,15 +139,14 @@ func (s *Sender) runSlot(slot uint32) {
 			if at < sched.Now() {
 				at = sched.Now()
 			}
-			pkt := packet.New(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
-			pkt.UID = s.host.Network().NewUID()
-			sched.At(at, func() {
+			pkt := s.host.Network().NewPacket(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
+			sched.Schedule(at, func() {
 				s.PacketsSent++
 				s.host.Send(pkt)
 			})
 		}
 	}
-	sched.At(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
+	sched.Schedule(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
 }
 
 // Receiver is a well-behaved threshold-protocol receiver.
@@ -161,6 +161,7 @@ type Receiver struct {
 	levelBySlot map[uint32]int
 	joinedSlot  []uint32
 	running     bool
+	loop        *core.SlotLoop
 
 	// Meter records delivered session bytes.
 	Meter *stats.Meter
@@ -180,6 +181,7 @@ func NewReceiver(host *netsim.Host, sess *core.Session, thresh []float64, router
 		joinedSlot:  make([]uint32, sess.Rates.N+2),
 		Meter:       stats.NewMeter(sim.Second),
 	}
+	r.loop = core.NewSlotLoop(host.Scheduler(), sess, 8*sess.SlotDur/10, r.onEval)
 	host.Handle(packet.ProtoFLID, r.onData)
 	return r
 }
@@ -198,7 +200,7 @@ func (r *Receiver) Start() {
 	r.levelBySlot[cur] = 1
 	r.joinedSlot[1] = cur + 1
 	r.client.SessionJoin(r.Sess.BaseAddr)
-	r.scheduleEval(cur)
+	r.loop.Schedule(cur)
 }
 
 // Stop leaves the session.
@@ -208,19 +210,13 @@ func (r *Receiver) Stop() {
 	r.level = 0
 }
 
-func (r *Receiver) scheduleEval(slot uint32) {
-	sched := r.host.Scheduler()
-	at := r.Sess.SlotStart(slot+1) + 8*r.Sess.SlotDur/10
-	if at <= sched.Now() {
-		at = sched.Now() + 1
+// onEval fires once per slot on the loop's reusable timer.
+func (r *Receiver) onEval(slot uint32) bool {
+	if !r.running {
+		return false
 	}
-	sched.At(at, func() {
-		if !r.running {
-			return
-		}
-		r.evaluate(slot)
-		r.scheduleEval(slot + 1)
-	})
+	r.evaluate(slot)
+	return true
 }
 
 func (r *Receiver) onData(pkt *packet.Packet) {

@@ -3,6 +3,7 @@ package deltasigma
 import (
 	"fmt"
 
+	"deltasigma/internal/packet"
 	"deltasigma/internal/topo"
 )
 
@@ -16,6 +17,7 @@ type settings struct {
 	slot     Time // 0 selects the protocol default
 	pktSize  int
 	ecnFrac  float64
+	pool     *packet.Pool
 	err      error
 }
 
@@ -205,6 +207,22 @@ func WithPacketSize(bytes int) Option {
 			return
 		}
 		s.pktSize = bytes
+	}
+}
+
+// WithPacketPool injects a shared packet pool into the experiment's
+// network. The simulation recycles packet envelopes through the pool, so a
+// caller that runs many experiments sequentially — a campaign worker
+// stepping through grid points — hands each one the same warm pool and the
+// per-experiment allocation spike disappears. A pool must never be shared
+// by experiments running concurrently; each campaign worker owns its own.
+func WithPacketPool(p *packet.Pool) Option {
+	return func(s *settings) {
+		if p == nil {
+			s.fail(fmt.Errorf("deltasigma: WithPacketPool(nil)"))
+			return
+		}
+		s.pool = p
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deltasigma/internal/campaign"
+	"deltasigma/internal/packet"
 	"deltasigma/internal/stats"
 	"deltasigma/internal/topo"
 )
@@ -411,9 +412,18 @@ func (sw Sweep) Run(workers int) (*CampaignResult, error) {
 	}
 	start := time.Now()
 	results := make([]PointResult, g.Size())
-	errs := campaign.Run(g.Size(), workers, func(i int) error {
+	// One packet pool per worker: a worker runs its grid points
+	// sequentially, so consecutive experiments recycle the same warm
+	// freelist instead of re-allocating every envelope. Results stay
+	// byte-identical for any worker count because pooling only changes
+	// where envelopes come from, never what the simulation computes.
+	pools := make([]*packet.Pool, campaign.EffectiveWorkers(g.Size(), workers))
+	for i := range pools {
+		pools[i] = &packet.Pool{}
+	}
+	errs := campaign.Run(g.Size(), workers, func(w, i int) error {
 		p, spec := a.point(g.Coords(i))
-		r, err := sw.runPoint(a, p, spec)
+		r, err := sw.runPoint(a, p, spec, pools[w])
 		r.Point = p
 		results[i] = r
 		return err
@@ -439,13 +449,17 @@ func (sw Sweep) Run(workers int) (*CampaignResult, error) {
 }
 
 // runPoint builds and runs one grid point's experiment and aggregates its
-// statistics.
-func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec) (PointResult, error) {
+// statistics. pool, when non-nil, is the running worker's reusable packet
+// pool.
+func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.Pool) (PointResult, error) {
 	var pr PointResult
 	opts := []Option{
 		WithProtocol(p.Protocol),
 		WithSeed(p.Seed),
 		WithTopologyFunc(func(seed uint64) Topology { return spec.Build(p.BottleneckBps, seed) }),
+	}
+	if pool != nil {
+		opts = append(opts, WithPacketPool(pool))
 	}
 	if p.SlotNs > 0 {
 		opts = append(opts, WithSlot(p.SlotNs))

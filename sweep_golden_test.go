@@ -1,0 +1,79 @@
+package deltasigma_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltasigma"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/sweep_golden.json from the current engine")
+
+// goldenSweep is the small canned campaign pinned by testdata/sweep_golden.json:
+// both FLID variants, with and without an attacker, one seed. The golden file
+// was generated before the zero-allocation refactor of the event/packet hot
+// path; byte-identical output proves the pooled engine replays the exact same
+// simulation.
+func goldenSweep() deltasigma.Sweep {
+	return deltasigma.Sweep{
+		Name:      "golden",
+		Protocols: []string{"flid-dl", "flid-ds"},
+		Receivers: []int{2},
+		Attackers: []int{0, 1},
+		Duration:  6 * deltasigma.Second,
+		Seeds:     []uint64{11},
+	}
+}
+
+// TestSweepGolden locks sweep output against the pre-refactor golden file and
+// against itself across worker counts: same seeds must mean byte-identical
+// JSON no matter how the grid is scheduled or how packets and events are
+// recycled internally.
+func TestSweepGolden(t *testing.T) {
+	sw := goldenSweep()
+	res1, err := sw.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, err := res1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Failures != 0 {
+		t.Fatalf("golden sweep had %d failures:\n%s", res1.Failures, js1)
+	}
+
+	res8, err := sw.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js8, err := res8.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Fatal("sweep JSON differs between -workers=1 and -workers=8")
+	}
+
+	path := filepath.Join("testdata", "sweep_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, js1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(js1, want) {
+		t.Errorf("sweep JSON diverged from pre-refactor golden file %s:\ngot:\n%s\nwant:\n%s", path, js1, want)
+	}
+}
