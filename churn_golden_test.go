@@ -1,0 +1,107 @@
+package deltasigma_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltasigma"
+)
+
+// sweepWorkers is the parallel worker count the golden determinism tests
+// compare against the serial run. CI's determinism job varies it to prove
+// byte-identical output is independent of scheduling, not an artifact of
+// one lucky worker count.
+var sweepWorkers = flag.Int("sweep-workers", 8, "parallel worker count the golden sweep tests compare against workers=1")
+
+// dynamicsSweep is the canned campaign pinned by testdata/churn_golden.json:
+// every family of mid-run dynamics at once — Poisson membership churn, a
+// late attacker onset, a bottleneck capacity drop and a brief flap — so the
+// golden file locks the entire timeline layer, not just static grids.
+func dynamicsSweep() deltasigma.Sweep {
+	return deltasigma.Sweep{
+		Name:       "churn-golden",
+		Protocols:  []string{"flid-dl", "flid-ds"},
+		Receivers:  []int{3},
+		Attackers:  []int{1},
+		ChurnRates: []float64{0, 1.5},
+		AttackAts:  []deltasigma.Time{3 * deltasigma.Second},
+		Duration:   6 * deltasigma.Second,
+		Seeds:      []uint64{17},
+		Configure: func(p deltasigma.SweepPoint, e *deltasigma.Experiment) error {
+			// One scripted path event per point: the bottleneck loses 40%
+			// of its capacity mid-run, and flaps once near the end.
+			e.AddEvents(
+				deltasigma.LinkSetCapacity{At: 4 * deltasigma.Second, Link: 0, Bps: 600_000},
+				deltasigma.LinkDown{At: 5 * deltasigma.Second, Link: 0},
+				deltasigma.LinkUp{At: 5*deltasigma.Second + 200*deltasigma.Millisecond, Link: 0},
+			)
+			return nil
+		},
+	}
+}
+
+// TestDynamicsGolden locks the dynamics layer's determinism: a seeded
+// experiment with Poisson churn, late attacker onset and scripted link
+// events produces byte-identical JSON across worker counts, pinned against
+// testdata/churn_golden.json so engine changes cannot silently reshuffle
+// seeded dynamic runs.
+func TestDynamicsGolden(t *testing.T) {
+	sw := dynamicsSweep()
+	res1, err := sw.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, err := res1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Failures != 0 {
+		t.Fatalf("dynamics sweep had %d failures:\n%s", res1.Failures, js1)
+	}
+
+	resN, err := sw.Run(*sweepWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsN, err := resN.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, jsN) {
+		t.Fatalf("dynamics sweep JSON differs between -workers=1 and -workers=%d", *sweepWorkers)
+	}
+
+	// The churned points must actually have churned, or the golden file
+	// pins a vacuous scenario.
+	churned := false
+	for _, p := range res1.Points {
+		if p.Point.ChurnRate > 0 && p.GoodMeanKbps != 0 {
+			churned = true
+		}
+	}
+	if !churned {
+		t.Fatal("no churned point produced throughput — scenario is vacuous")
+	}
+
+	path := filepath.Join("testdata", "churn_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, js1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(js1, want) {
+		t.Errorf("dynamics sweep JSON diverged from golden file %s:\ngot:\n%s\nwant:\n%s", path, js1, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses `go
+// test -bench` output and fails when a benchmark's allocs/op regresses
+// beyond a tolerance against the recorded baseline (BENCH_pr3.json).
+//
+// Allocation counts — unlike ns/op — are deterministic for a fixed
+// -benchtime iteration count, so they gate reliably on shared CI runners
+// where timing noise would make a ns/op gate flap. ns/op and B/op are
+// still reported for context, but only allocs/op can fail the build.
+//
+//	go test -run=NoTests -bench='Fig01|Fig07' -benchtime=3x -benchmem . | tee bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_pr3.json -bench bench.txt
+//
+// Every benchmark named in the baseline's "headline" section must appear
+// in the bench output; a missing headline benchmark fails the gate (a
+// deleted or renamed benchmark must update the baseline deliberately).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the parts of BENCH_pr3.json the gate reads.
+type baseline struct {
+	PR       int                      `json:"pr"`
+	Headline map[string]headlineEntry `json:"headline"`
+}
+
+type headlineEntry struct {
+	After metrics `json:"after"`
+}
+
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"B_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkFig01InflatedSubscription-4  3  103294204 ns/op  7157898 B/op  177771 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// parseBench extracts per-benchmark metrics from -bench output. When a
+// benchmark appears more than once (several packages, -count>1) the worst
+// allocs/op wins — a gate must not pass on the luckiest sample.
+func parseBench(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b, _ := strconv.ParseFloat(m[3], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		got := metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+		if prev, ok := out[m[1]]; !ok || got.AllocsOp > prev.AllocsOp {
+			out[m[1]] = got
+		}
+	}
+	return out, sc.Err()
+}
+
+func run() error {
+	basePath := flag.String("baseline", "BENCH_pr3.json", "baseline JSON with a headline section")
+	benchPath := flag.String("bench", "bench.txt", "captured `go test -bench -benchmem` output")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional allocs/op regression over the baseline")
+	flag.Parse()
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance %v is negative", *tolerance)
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", *basePath, err)
+	}
+	if len(base.Headline) == 0 {
+		return fmt.Errorf("%s has no headline benchmarks", *basePath)
+	}
+	got, err := parseBench(*benchPath)
+	if err != nil {
+		return err
+	}
+
+	failed := false
+	for name, entry := range base.Headline {
+		want := entry.After.AllocsOp
+		limit := want * (1 + *tolerance)
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %s: missing from %s (headline benchmarks must run)\n", name, *benchPath)
+			failed = true
+			continue
+		}
+		delta := 100 * (cur.AllocsOp - want) / want
+		status := "ok  "
+		if cur.AllocsOp > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%) | %.0f ns/op, %.0f B/op\n",
+			status, name, cur.AllocsOp, want, delta, 100**tolerance, cur.NsOp, cur.BOp)
+	}
+	if failed {
+		return fmt.Errorf("allocation regression against %s (PR %d baseline)", *basePath, base.PR)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}

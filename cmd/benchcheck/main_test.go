@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `
+goos: linux
+BenchmarkFig01InflatedSubscription-4   	       3	 103294204 ns/op	 7157898 B/op	  177771 allocs/op
+BenchmarkFig07Protection-4             	       3	 113037779 ns/op	 9281269 B/op	  198085 allocs/op
+BenchmarkFig07Protection-4             	       3	 113037779 ns/op	 9281269 B/op	  200000 allocs/op
+PASS
+ok  	deltasigma	2.1s
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkFig01InflatedSubscription"].AllocsOp != 177771 {
+		t.Fatalf("Fig01 allocs = %v", got["BenchmarkFig01InflatedSubscription"])
+	}
+	// Duplicate entries keep the worst allocs/op.
+	if got["BenchmarkFig07Protection"].AllocsOp != 200000 {
+		t.Fatalf("Fig07 should keep the worst sample, got %v", got["BenchmarkFig07Protection"])
+	}
+	if got["BenchmarkFig01InflatedSubscription"].NsOp != 103294204 {
+		t.Fatalf("Fig01 ns/op = %v", got["BenchmarkFig01InflatedSubscription"].NsOp)
+	}
+}
+
+func TestParseBenchLineWithoutBenchmem(t *testing.T) {
+	// Lines without -benchmem columns are skipped, not misparsed.
+	path := writeTemp(t, "bench.txt", "BenchmarkX-4   10   1000 ns/op\n")
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %v from a line without alloc columns", got)
+	}
+}
+
+// The real repository baseline must parse and carry headline entries —
+// the gate's own config cannot silently rot.
+func TestRepositoryBaselineIsGateable(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Headline) < 2 {
+		t.Fatalf("baseline headline has %d entries, want >= 2", len(base.Headline))
+	}
+	for name, e := range base.Headline {
+		if e.After.AllocsOp <= 0 {
+			t.Fatalf("headline %s has no after.allocs_op", name)
+		}
+	}
+}

@@ -7,19 +7,28 @@
 // the typed results.
 //
 //	go run ./cmd/dsim -protocol flid-dl -sessions 2 -attack 30 -dur 90
-//	go run ./cmd/dsim -protocol flid-ds -sessions 2 -attack 30 -dur 90
+//	go run ./cmd/dsim -protocol flid-ds -sessions 2 -attack 30 -attackstop 60 -dur 90
 //	go run ./cmd/dsim -protocol flid-ds -topology chain -capacity 500000,250000 -tcp 1 -dur 60
+//	go run ./cmd/dsim -protocol flid-ds -sessions 2 -churn 0.5 -flap 20 -dur 120
 //	go run ./cmd/dsim -protocol flid-ds-threshold -topology star -capacity 250000,500000 -sessions 1 -json
 //	go run ./cmd/dsim -list
 //
+// Mid-run dynamics — attacker onset and stop, Poisson membership churn,
+// bottleneck flapping — are scripted through the experiment timeline
+// (deltasigma.WithTimeline and friends) via -attack, -attackstop, -churn
+// and -flap.
+//
 // The `sweep` subcommand runs a whole campaign — the cartesian product of
-// protocol/topology/receiver/attacker/capacity/slot/delay-spread/seed axes
-// — across all cores, with deterministic merged output (JSON, CSV or a
-// table) that is byte-identical for any -workers value:
+// protocol/topology/receiver/attacker/capacity/slot/delay-spread/churn/
+// attack-onset/flap/seed axes — across all cores, with deterministic
+// merged output (JSON, CSV or a table) that is byte-identical for any
+// -workers value:
 //
 //	go run ./cmd/dsim sweep -protocols flid-dl,flid-ds -receivers 1,4,16,64 -attackers 0,1,2 -dur 30
+//	go run ./cmd/dsim sweep -protocols flid-ds -churns 0,0.5,2 -flaps 0,10 -dur 60
+//	go run ./cmd/dsim sweep -attackers 1 -attackats 5,15,25 -dur 30
 //	go run ./cmd/dsim sweep -campaign attacker-fraction -scale 0.5 -json
-//	go run ./cmd/dsim sweep -campaign rtt-heterogeneity -workers 4 -csv
+//	go run ./cmd/dsim sweep -campaign churn -workers 4 -csv
 //	go run ./cmd/dsim sweep -list
 package main
 
@@ -54,6 +63,9 @@ func run() error {
 	sessions := flag.Int("sessions", 2, "number of multicast sessions (one receiver each)")
 	groups := flag.Int("groups", 0, "groups per session (0 = the paper's 10; flid-ds-replicated wants ~6)")
 	attackAt := flag.Float64("attack", 0, "seconds until session 1's receiver inflates (0 = no attack)")
+	attackStop := flag.Float64("attackstop", 0, "seconds until the attacker deflates again (0 = attack runs to the end; needs -attack)")
+	churn := flag.Float64("churn", 0, "Poisson membership churn in toggles/s across each session's receivers (0 = static membership)")
+	flap := flag.Float64("flap", 0, "bottleneck flap period in seconds, down a tenth of each period (0 = stable links)")
 	nTCP := flag.Int("tcp", 0, "number of TCP Reno competitors")
 	cbrFrac := flag.Float64("cbr", 0, "on-off CBR cross traffic at this fraction of the narrowest bottleneck (0 = none)")
 	dur := flag.Float64("dur", 60, "simulated seconds")
@@ -113,6 +125,26 @@ func run() error {
 		return err
 	}
 
+	if *attackAt > 0 && *attackAt >= *dur {
+		return fmt.Errorf("-attack %gs must be inside -dur %gs", *attackAt, *dur)
+	}
+	if *flap > 0 && *flap >= *dur {
+		return fmt.Errorf("-flap %gs must be inside -dur %gs (the first outage starts one period in)", *flap, *dur)
+	}
+	if *attackStop > 0 {
+		if *attackAt <= 0 {
+			return fmt.Errorf("-attackstop needs -attack")
+		}
+		if *attackStop <= *attackAt {
+			return fmt.Errorf("-attackstop %gs must come after -attack %gs", *attackStop, *attackAt)
+		}
+		if *attackStop >= *dur {
+			return fmt.Errorf("-attackstop %gs must be inside -dur %gs", *attackStop, *dur)
+		}
+	}
+	end := deltasigma.Time(*dur * float64(deltasigma.Second))
+	secs := func(s float64) deltasigma.Time { return deltasigma.Time(s * float64(deltasigma.Second)) }
+
 	var receivers []*deltasigma.Receiver
 	for i := 0; i < *sessions; i++ {
 		s := exp.AddSession(0)
@@ -128,11 +160,29 @@ func run() error {
 	if *cbrFrac > 0 {
 		exp.AddCBR(int64(*cbrFrac*float64(narrowest)), 5*deltasigma.Second, 5*deltasigma.Second)
 	}
-	if *attackAt > 0 {
-		exp.At(deltasigma.Time(*attackAt*float64(deltasigma.Second)), receivers[0].Inflate)
-	}
 
-	end := deltasigma.Time(*dur * float64(deltasigma.Second))
+	// All mid-run dynamics ride the experiment timeline.
+	var events []deltasigma.TimelineEvent
+	if *attackAt > 0 {
+		events = append(events, deltasigma.AttackerOnset{At: secs(*attackAt), Session: 1})
+		if *attackStop > 0 {
+			events = append(events, deltasigma.AttackerStop{At: secs(*attackStop), Session: 1})
+		}
+	}
+	if *churn > 0 {
+		for i := 1; i <= *sessions; i++ {
+			if i == 1 && *attackAt > 0 {
+				continue // session 1's only receiver is the attacker
+			}
+			events = append(events, deltasigma.PoissonChurn{Session: i, Rate: *churn, To: end})
+		}
+	}
+	if *flap > 0 {
+		for l := range exp.Topo.Bottlenecks() {
+			events = append(events, deltasigma.LinkFlap{Link: l, Period: secs(*flap), To: end})
+		}
+	}
+	exp.AddEvents(events...)
 	if *jsonOut {
 		res := exp.Run(end)
 		enc := json.NewEncoder(os.Stdout)

@@ -26,6 +26,9 @@ func runSweep(args []string) error {
 	capacity := fs.String("capacity", "1000000", "comma-separated bottleneck bits/s axis")
 	slots := fs.String("slots", "", "comma-separated slot durations in ms (empty = protocol default)")
 	spreads := fs.String("spreads", "", "comma-separated access-delay spreads in ms")
+	churns := fs.String("churns", "", "comma-separated Poisson churn rates in toggles/s (empty = static membership)")
+	attackAts := fs.String("attackats", "", "comma-separated attacker onset times in seconds (empty = -attack)")
+	flaps := fs.String("flaps", "", "comma-separated bottleneck flap periods in seconds (empty = stable links)")
 	seeds := fs.String("seeds", "1", "comma-separated seed replicas")
 	dur := fs.Float64("dur", 30, "simulated seconds per grid point")
 	warmup := fs.Float64("warmup", 0, "seconds excluded from statistics (0 = dur/10)")
@@ -53,7 +56,7 @@ func runSweep(args []string) error {
 		}
 		// A canned campaign fixes its own grid; only -scale and -seeds
 		// adjust it. Reject axis flags that would be silently ignored.
-		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "capacity", "slots", "spreads", "dur", "warmup", "attack"} {
+		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "capacity", "slots", "spreads", "churns", "attackats", "flaps", "dur", "warmup", "attack"} {
 			if flagWasSet(fs, name) {
 				return fmt.Errorf("-%s has no effect with -campaign (canned campaigns fix their grid; use -scale and -seeds, or drop -campaign for an ad-hoc grid)", name)
 			}
@@ -70,7 +73,13 @@ func runSweep(args []string) error {
 		}
 	} else {
 		var err error
-		if sw, err = buildSweep(*protocols, *topologies, *receivers, *attackers, *capacity, *slots, *spreads, *seeds, *dur, *warmup, *attackAt); err != nil {
+		if sw, err = buildSweep(sweepAxes{
+			protocols: *protocols, topologies: *topologies,
+			receivers: *receivers, attackers: *attackers,
+			capacity: *capacity, slots: *slots, spreads: *spreads,
+			churns: *churns, attackAts: *attackAts, flaps: *flaps,
+			seeds: *seeds, dur: *dur, warmup: *warmup, attackAt: *attackAt,
+		}); err != nil {
 			return err
 		}
 	}
@@ -95,12 +104,21 @@ func runSweep(args []string) error {
 	}
 }
 
+// sweepAxes bundles the ad-hoc grid flags.
+type sweepAxes struct {
+	protocols, topologies, receivers, attackers string
+	capacity, slots, spreads                    string
+	churns, attackAts, flaps                    string
+	seeds                                       string
+	dur, warmup, attackAt                       float64
+}
+
 // buildSweep assembles an ad-hoc sweep from the axis flags.
-func buildSweep(protocols, topologies, receivers, attackers, capacity, slots, spreads, seeds string, dur, warmup, attackAt float64) (deltasigma.Sweep, error) {
+func buildSweep(ax sweepAxes) (deltasigma.Sweep, error) {
 	var sw deltasigma.Sweep
 	sw.Name = "adhoc"
-	sw.Protocols = splitList(protocols)
-	for _, tok := range splitList(topologies) {
+	sw.Protocols = splitList(ax.protocols)
+	for _, tok := range splitList(ax.topologies) {
 		spec, err := parseTopologySpec(tok)
 		if err != nil {
 			return sw, err
@@ -108,31 +126,40 @@ func buildSweep(protocols, topologies, receivers, attackers, capacity, slots, sp
 		sw.Topologies = append(sw.Topologies, spec)
 	}
 	var err error
-	if sw.Receivers, err = parseInts(receivers); err != nil {
+	if sw.Receivers, err = parseInts(ax.receivers); err != nil {
 		return sw, fmt.Errorf("-receivers: %w", err)
 	}
-	if sw.Attackers, err = parseInts(attackers); err != nil {
+	if sw.Attackers, err = parseInts(ax.attackers); err != nil {
 		return sw, fmt.Errorf("-attackers: %w", err)
 	}
-	caps, err := parseCaps(capacity, 1_000_000)
+	caps, err := parseCaps(ax.capacity, 1_000_000)
 	if err != nil {
 		return sw, err
 	}
 	sw.Bottlenecks = caps
-	if sw.Slots, err = parseMillis(slots); err != nil {
+	if sw.Slots, err = parseMillis(ax.slots); err != nil {
 		return sw, fmt.Errorf("-slots: %w", err)
 	}
-	if sw.DelaySpreads, err = parseMillis(spreads); err != nil {
+	if sw.DelaySpreads, err = parseMillis(ax.spreads); err != nil {
 		return sw, fmt.Errorf("-spreads: %w", err)
 	}
-	seedAxis, err := parseUints(seeds)
+	if sw.ChurnRates, err = parseFloats(ax.churns); err != nil {
+		return sw, fmt.Errorf("-churns: %w", err)
+	}
+	if sw.AttackAts, err = parseSeconds(ax.attackAts); err != nil {
+		return sw, fmt.Errorf("-attackats: %w", err)
+	}
+	if sw.FlapPeriods, err = parseSeconds(ax.flaps); err != nil {
+		return sw, fmt.Errorf("-flaps: %w", err)
+	}
+	seedAxis, err := parseUints(ax.seeds)
 	if err != nil {
 		return sw, fmt.Errorf("-seeds: %w", err)
 	}
 	sw.Seeds = seedAxis
-	sw.Duration = deltasigma.Time(dur * float64(deltasigma.Second))
-	sw.Warmup = deltasigma.Time(warmup * float64(deltasigma.Second))
-	sw.AttackAt = deltasigma.Time(attackAt * float64(deltasigma.Second))
+	sw.Duration = deltasigma.Time(ax.dur * float64(deltasigma.Second))
+	sw.Warmup = deltasigma.Time(ax.warmup * float64(deltasigma.Second))
+	sw.AttackAt = deltasigma.Time(ax.attackAt * float64(deltasigma.Second))
 	return sw, nil
 }
 
@@ -227,15 +254,39 @@ func parseUints(s string) ([]uint64, error) {
 	return out, nil
 }
 
-// parseMillis parses a comma-separated list of millisecond durations.
-func parseMillis(s string) ([]deltasigma.Time, error) {
+// parseFloats parses a comma-separated list of non-negative floats.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad rate %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseDurations parses a comma-separated list of durations expressed in
+// the given unit ("seconds"/"milliseconds" names the unit in errors).
+func parseDurations(s, what string, unit deltasigma.Time) ([]deltasigma.Time, error) {
 	var out []deltasigma.Time
 	for _, p := range splitList(s) {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil || v < 0 {
-			return nil, fmt.Errorf("bad duration %q (milliseconds)", p)
+			return nil, fmt.Errorf("bad duration %q (%s)", p, what)
 		}
-		out = append(out, deltasigma.Time(v*float64(deltasigma.Millisecond)))
+		out = append(out, deltasigma.Time(v*float64(unit)))
 	}
 	return out, nil
+}
+
+// parseSeconds parses a comma-separated list of second durations.
+func parseSeconds(s string) ([]deltasigma.Time, error) {
+	return parseDurations(s, "seconds", deltasigma.Second)
+}
+
+// parseMillis parses a comma-separated list of millisecond durations.
+func parseMillis(s string) ([]deltasigma.Time, error) {
+	return parseDurations(s, "milliseconds", deltasigma.Millisecond)
 }

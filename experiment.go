@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"deltasigma/internal/core"
+	"deltasigma/internal/dynamics"
 	"deltasigma/internal/keys"
 	"deltasigma/internal/mcast"
 	"deltasigma/internal/packet"
@@ -48,6 +49,12 @@ type Experiment struct {
 	tcps     []*TCPFlow
 	cbrs     []*CBR
 
+	// events holds declared timeline events until Start resolves them onto
+	// the timeline; churns keeps the live Poisson generators for metrics.
+	events   []TimelineEvent
+	timeline dynamics.Timeline
+	churns   []*dynamics.Churn
+
 	controllers []*sigma.Controller
 }
 
@@ -90,6 +97,7 @@ func New(opts ...Option) (*Experiment, error) {
 		schedule: s.schedule,
 		pktSize:  s.pktSize,
 		ecnFrac:  s.ecnFrac,
+		events:   s.events,
 	}, nil
 }
 
@@ -143,6 +151,7 @@ type Receiver struct {
 	session int
 	index   int
 	startAt Time
+	manual  bool
 }
 
 // StartAt defers the receiver's automatic start to virtual time t (the
@@ -154,12 +163,27 @@ func (r *Receiver) StartAt(t Time) *Receiver {
 	return r
 }
 
+// Manual suppresses the receiver's automatic start: it joins only when a
+// ReceiverJoin event (or an explicit Start call) says so. Call before the
+// experiment starts; returns the receiver for chaining.
+func (r *Receiver) Manual() *Receiver {
+	r.exp.mustNotHaveStarted("Manual")
+	r.manual = true
+	return r
+}
+
 // Start begins receiving (sessions started via Experiment.Start do this
-// automatically).
+// automatically). Safe mid-run: a stopped receiver re-joins the session at
+// the minimal level — ReceiverJoin events resolve to this call.
 func (r *Receiver) Start() { r.agent.Start() }
 
-// Stop leaves the session.
+// Stop leaves the session. Safe mid-run — ReceiverLeave events resolve to
+// this call; packets already queued or in flight drain normally.
 func (r *Receiver) Stop() { r.agent.Stop() }
+
+// Joined reports whether the receiver is currently subscribed (at any
+// level) — the predicate membership churn toggles on.
+func (r *Receiver) Joined() bool { return r.agent.Level() > 0 }
 
 // Level reports the current subscription level (for replicated sessions,
 // the current group).
@@ -176,6 +200,16 @@ func (r *Receiver) Attacker() bool { return r.atk != nil }
 func (r *Receiver) Inflate() {
 	if r.atk != nil {
 		r.atk.Inflate()
+	}
+}
+
+// Deflate calls the attack off mid-run (AttackerStop events resolve to
+// this call): inflation joins are withdrawn and the attacker reverts to
+// well-behaved congestion control. A no-op for receivers whose protocol
+// attacker cannot stand down.
+func (r *Receiver) Deflate() {
+	if d, ok := r.agent.(Deflater); ok {
+		d.Deflate()
 	}
 }
 
@@ -321,6 +355,9 @@ func (e *Experiment) Start() {
 		s := s
 		sched.At(0, s.Sender.Start)
 		for _, r := range s.Receivers {
+			if r.manual {
+				continue // joins only by timeline event or explicit Start
+			}
 			r := r
 			sched.At(r.startAt, r.Start)
 		}
@@ -329,8 +366,17 @@ func (e *Experiment) Start() {
 		f.schedule(sched)
 	}
 	for _, c := range e.cbrs {
-		c.schedule(sched)
+		c.schedule(e)
 	}
+
+	// Resolve the declared timeline last, so events see the fully wired
+	// experiment, and install it. A resolution failure is a wiring bug (a
+	// session or link index that does not exist) and panics like every
+	// other mis-wiring of the builder.
+	if err := e.resolveEvents(); err != nil {
+		panic("deltasigma: " + err.Error())
+	}
+	e.timeline.Install(sched)
 }
 
 // Controllers returns the SIGMA controllers installed at Start (empty for

@@ -42,6 +42,20 @@ func (a *Attacker) Inflate() {
 	}
 }
 
+// Deflate calls the attack off (the dynamics layer's attacker-stop event):
+// every full-subscription join is withdrawn and the well-behaved control
+// loop restarts from the minimal level.
+func (a *Attacker) Deflate() {
+	if !a.inflated {
+		return
+	}
+	a.inflated = false
+	for g := 1; g <= a.Sess.Rates.N; g++ {
+		a.igmpAtk.Leave(a.Sess.GroupAddr(g))
+	}
+	a.Receiver.Start()
+}
+
 // Inflated reports whether the attack is active.
 func (a *Attacker) Inflated() bool { return a.inflated }
 

@@ -87,21 +87,32 @@ type flight struct {
 // are strictly FIFO), and the in-flight ring recycles its backing array.
 type Link struct {
 	src, dst Node
-	Rate     int64    // bits per second
-	Delay    sim.Time // propagation delay
+	Rate     int64    // bits per second; mutate via SetRate only
+	Delay    sim.Time // propagation delay; mutate via SetDelay only
 	Queue    Queue
 	sched    *sim.Scheduler
 	busy     bool
+	down     bool
 
 	cur          *packet.Packet // packet currently serializing
 	txTimer      sim.Timer      // fires when cur finishes serializing
 	deliverTimer sim.Timer      // fires at the head flight's delivery time
 	flights      ring[flight]   // FIFO of packets in propagation
 
+	// capBits integrates available capacity — Rate while up, zero while
+	// down — in bits from time zero to lastAccrue, so utilization stays
+	// correct when SetRate/Down/Up re-parameterize the link mid-run.
+	capBits    float64
+	lastAccrue sim.Time
+
 	// Delivered counts packets handed to dst.
 	Delivered uint64
 	// SentBytes counts bytes that completed serialization.
 	SentBytes uint64
+	// DroppedDown counts packets discarded because the link was down:
+	// arrivals while down plus queued and in-flight packets flushed by the
+	// Down transition itself.
+	DroppedDown uint64
 	// OnDeliver, when set, observes every delivery (tracing hook). The
 	// packet is released after delivery; observers must not retain it
 	// without Retain.
@@ -131,8 +142,13 @@ func (l *Link) txTime(size int) sim.Time {
 }
 
 // Send enqueues pkt for transmission, taking ownership of one reference;
-// a drop-tail drop releases it.
+// a drop-tail drop — or a down link — releases it.
 func (l *Link) Send(pkt *packet.Packet) {
+	if l.down {
+		l.DroppedDown++
+		pkt.Release()
+		return
+	}
 	if !l.Queue.push(pkt) {
 		return
 	}
@@ -187,5 +203,109 @@ func (l *Link) onDeliver() {
 			at = l.sched.Now()
 		}
 		l.deliverTimer.ResetReserved(at, next.seq)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Live re-parameterization (the dynamics layer's link events). All four
+// mutators are safe mid-run: they preserve the pooled-packet ownership
+// discipline — every reference the link holds is either carried forward or
+// released exactly once — and never disturb the FIFO delivery pipeline's
+// determinism guarantees.
+
+// accrue folds the capacity available since the last accrual into capBits:
+// Rate while up, nothing while down. Called before every parameter change
+// and by CapacityBits.
+func (l *Link) accrue() {
+	now := l.sched.Now()
+	if now > l.lastAccrue {
+		if !l.down {
+			l.capBits += float64(l.Rate) * (float64(now-l.lastAccrue) / float64(sim.Second))
+		}
+		l.lastAccrue = now
+	}
+}
+
+// CapacityBits reports the integral of available link capacity in bits
+// from time zero to now — the correct utilization denominator for links
+// whose rate or up/down state changed mid-run (for a never-mutated link it
+// equals Rate × elapsed seconds exactly).
+func (l *Link) CapacityBits() float64 {
+	l.accrue()
+	return l.capBits
+}
+
+// SetRate changes the link rate for subsequent transmissions. A packet
+// already serializing completes on the old timing (its tx timer is armed);
+// re-arming it would entangle the change with serialization phase and buy
+// nothing observable one packet later.
+func (l *Link) SetRate(rate int64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: SetRate(%d) on %s must be positive", rate, l))
+	}
+	l.accrue()
+	l.Rate = rate
+}
+
+// SetDelay changes the propagation delay for packets entering propagation
+// from now on. Packets already in flight keep their delivery times; when
+// the delay is lowered, the FIFO pipeline clamps newer deliveries behind
+// older ones (see onDeliver) instead of reordering.
+func (l *Link) SetDelay(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: SetDelay(%v) on %s is negative", d, l))
+	}
+	l.Delay = d
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// Down takes the link down: the in-progress serialization is abandoned,
+// pending deliveries are cancelled, and every packet the link holds — the
+// one serializing, the propagation FIFO, the queue — is released back to
+// the pool and counted in DroppedDown. Packets sent while down are
+// discarded on arrival. Idempotent.
+func (l *Link) Down() {
+	if l.down {
+		return
+	}
+	l.accrue() // capacity counted up to the outage instant
+	l.down = true
+	l.txTimer.Stop()
+	if l.cur != nil {
+		l.cur.Release()
+		l.cur = nil
+		l.DroppedDown++
+	}
+	l.busy = false
+	l.deliverTimer.Stop()
+	for l.flights.len() > 0 {
+		f := l.flights.pop()
+		f.pkt.Release()
+		l.DroppedDown++
+	}
+	for {
+		pkt := l.Queue.pop()
+		if pkt == nil {
+			break
+		}
+		pkt.Release()
+		l.DroppedDown++
+	}
+}
+
+// Up brings the link back. The queue is empty at this point (Down drained
+// it and Send discarded while down), so transmission resumes with the next
+// arriving packet; the guard covers callers that pushed state in between.
+// Idempotent.
+func (l *Link) Up() {
+	if !l.down {
+		return
+	}
+	l.accrue() // the downtime contributes zero capacity
+	l.down = false
+	if !l.busy && l.Queue.Len() > 0 {
+		l.startTransmission()
 	}
 }

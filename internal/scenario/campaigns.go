@@ -84,6 +84,69 @@ var campaigns = []Campaign{
 			}
 		},
 	},
+	{
+		Name:        "churn",
+		Description: "Poisson membership churn 0..2 toggles/s across the group, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			rates := []float64{0, 0.25, 1, 2}
+			receivers := []int{8}
+			if opt.Scale < 1 {
+				rates = []float64{0, 1}
+				receivers = []int{4}
+			}
+			return deltasigma.Sweep{
+				Name:       "churn",
+				Protocols:  []string{"flid-dl", "flid-ds"},
+				Receivers:  receivers,
+				ChurnRates: rates,
+				Duration:   opt.scale(campaignDuration),
+				Seeds:      []uint64{opt.Seed},
+			}
+		},
+	},
+	{
+		Name:        "late-attacker",
+		Description: "inflated-subscription onset swept across the session lifetime, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			dur := opt.scale(campaignDuration)
+			onsets := []sim.Time{dur / 8, dur / 4, dur / 2, 3 * dur / 4}
+			receivers := []int{8}
+			if opt.Scale < 1 {
+				onsets = []sim.Time{dur / 4, dur / 2}
+				receivers = []int{4}
+			}
+			return deltasigma.Sweep{
+				Name:      "late-attacker",
+				Protocols: []string{"flid-dl", "flid-ds"},
+				Receivers: receivers,
+				Attackers: []int{1},
+				AttackAts: onsets,
+				Duration:  dur,
+				Seeds:     []uint64{opt.Seed},
+			}
+		},
+	},
+	{
+		Name:        "flapping-bottleneck",
+		Description: "bottleneck flapping (down a tenth of each period), period swept, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			dur := opt.scale(campaignDuration)
+			periods := []sim.Time{0, dur / 10, dur / 5}
+			receivers := []int{8}
+			if opt.Scale < 1 {
+				periods = []sim.Time{0, dur / 5}
+				receivers = []int{4}
+			}
+			return deltasigma.Sweep{
+				Name:        "flapping-bottleneck",
+				Protocols:   []string{"flid-dl", "flid-ds"},
+				Receivers:   receivers,
+				FlapPeriods: periods,
+				Duration:    dur,
+				Seeds:       []uint64{opt.Seed},
+			}
+		},
+	},
 }
 
 // Campaigns lists every canned campaign in listing order.

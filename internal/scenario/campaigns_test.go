@@ -6,8 +6,8 @@ import (
 
 func TestCampaignRegistry(t *testing.T) {
 	names := CampaignNames()
-	if len(names) != 3 {
-		t.Fatalf("campaigns = %v, want 3", names)
+	if len(names) != 6 {
+		t.Fatalf("campaigns = %v, want 6", names)
 	}
 	for _, name := range names {
 		c, ok := LookupCampaign(name)

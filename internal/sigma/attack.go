@@ -24,6 +24,7 @@ type GuessAttack struct {
 	igmp     *mcast.Client
 	entitled func() int
 	rng      *sim.RNG
+	timer    *sim.Timer // reusable per-slot guessing timer
 
 	// GuessesPerSlot is y: how many random keys per group per slot the
 	// attacker can afford to submit.
@@ -38,7 +39,7 @@ type GuessAttack struct {
 // submitting guesses through client on behalf of a receiver whose current
 // entitlement entitled reports.
 func NewGuessAttack(host *netsim.Host, sess *core.Session, routerAddr packet.Addr, client *Client, entitled func() int, rng *sim.RNG) *GuessAttack {
-	return &GuessAttack{
+	a := &GuessAttack{
 		sess:           sess,
 		host:           host,
 		client:         client,
@@ -47,6 +48,8 @@ func NewGuessAttack(host *netsim.Host, sess *core.Session, routerAddr packet.Add
 		rng:            rng,
 		GuessesPerSlot: 16,
 	}
+	a.timer = host.Scheduler().NewTimer(a.attackSlot)
+	return a
 }
 
 // Inflate begins the inflation attempts.
@@ -60,6 +63,23 @@ func (a *GuessAttack) Inflate() {
 		a.igmp.Join(a.sess.GroupAddr(g))
 	}
 	a.attackSlot()
+}
+
+// Deflate calls the attack off (the dynamics layer's attacker-stop event):
+// the plain-IGMP joins are withdrawn and the pending guessing-slot timer
+// is cancelled — a later re-Inflate starts exactly one fresh loop instead
+// of stacking a second chain on the leftover event. The embedded
+// legitimate receiver is untouched — the former attacker keeps its
+// entitled subscription.
+func (a *GuessAttack) Deflate() {
+	if !a.inflated {
+		return
+	}
+	a.inflated = false
+	a.timer.Stop()
+	for g := 1; g <= a.sess.Rates.N; g++ {
+		a.igmp.Leave(a.sess.GroupAddr(g))
+	}
 }
 
 // Inflated reports whether the attack is active.
@@ -90,5 +110,5 @@ func (a *GuessAttack) attackSlot() {
 	if len(pairs) > 0 {
 		a.client.Subscribe(target, pairs)
 	}
-	sched.Schedule(a.sess.SlotStart(cur+1)+7*a.sess.SlotDur/10, func() { a.attackSlot() })
+	a.timer.ResetAt(a.sess.SlotStart(cur+1) + 7*a.sess.SlotDur/10)
 }

@@ -31,6 +31,10 @@ func (g *RNG) Float64() float64 { return g.r.Float64() }
 // IntN returns a uniform value in [0,n).
 func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
 
+// ExpFloat64 returns an exponentially distributed value with mean 1. The
+// dynamics layer draws Poisson interarrival gaps from it (gap = Exp/rate).
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
 // Jitter returns a uniform virtual duration in [0,max).
 func (g *RNG) Jitter(max Time) Time {
 	if max <= 0 {

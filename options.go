@@ -18,6 +18,7 @@ type settings struct {
 	pktSize  int
 	ecnFrac  float64
 	pool     *packet.Pool
+	events   []TimelineEvent
 	err      error
 }
 
@@ -223,6 +224,25 @@ func WithPacketPool(p *packet.Pool) Option {
 			return
 		}
 		s.pool = p
+	}
+}
+
+// WithTimeline scripts typed mid-run events against virtual time:
+// membership churn (ReceiverJoin/ReceiverLeave/PoissonChurn), attacker
+// lifecycle (AttackerOnset/AttackerStop) and link dynamics
+// (LinkSetCapacity/LinkSetDelay/LinkDown/LinkUp/LinkFlap). Events carry
+// symbolic session/receiver/link indices and are resolved when the
+// experiment starts, so the timeline can be declared before any session is
+// wired. Repeated options and AddEvents calls accumulate.
+func WithTimeline(events ...TimelineEvent) Option {
+	return func(s *settings) {
+		for _, ev := range events {
+			if ev == nil {
+				s.fail(fmt.Errorf("deltasigma: WithTimeline(nil event)"))
+				return
+			}
+		}
+		s.events = append(s.events, events...)
 	}
 }
 

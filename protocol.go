@@ -34,6 +34,14 @@ type Inflater interface {
 	Inflate()
 }
 
+// Deflater is implemented by attacker agents that can call the attack off
+// mid-run (the AttackerStop timeline event): Deflate withdraws the
+// inflation and reverts to well-behaved congestion control. All built-in
+// attackers implement it.
+type Deflater interface {
+	Deflate()
+}
+
 // Unwrapper exposes the concrete protocol agent behind a facade wrapper
 // (e.g. *flid.DSAttacker) for callers that need protocol-specific
 // statistics.

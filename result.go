@@ -45,6 +45,9 @@ type LinkResult struct {
 	Delivered uint64 `json:"delivered"`
 	// Dropped counts drop-tail losses at the link queue.
 	Dropped uint64 `json:"dropped"`
+	// DroppedDown counts packets destroyed by link outages (arrivals
+	// while down plus packets flushed by the down transition).
+	DroppedDown uint64 `json:"dropped_down,omitempty"`
 	// Marked counts ECN CE marks at the link queue.
 	Marked uint64 `json:"marked"`
 }
@@ -65,7 +68,8 @@ type Result struct {
 	Cross []CrossResult `json:"cross,omitempty"`
 	// Bottlenecks holds one entry per congested link.
 	Bottlenecks []LinkResult `json:"bottlenecks"`
-	// LostPackets totals drop-tail losses across the bottlenecks.
+	// LostPackets totals packets lost at the bottlenecks: drop-tail drops
+	// plus outage (down-link) discards.
 	LostPackets uint64 `json:"lost_packets"`
 }
 
@@ -133,13 +137,16 @@ func (e *Experiment) result(until Time) *Result {
 			SentBytes:   l.SentBytes,
 			Delivered:   l.Delivered,
 			Dropped:     l.Queue.Dropped,
+			DroppedDown: l.DroppedDown,
 			Marked:      l.Queue.Marked,
 		}
-		if until > 0 && l.Rate > 0 {
-			lr.Utilization = float64(lr.SentBytes) * 8 / (float64(l.Rate) * until.Sec())
+		// The capacity integral (rate over up-time) keeps utilization
+		// truthful when the link was re-rated, downed or flapped mid-run.
+		if capBits := l.CapacityBits(); capBits > 0 {
+			lr.Utilization = float64(lr.SentBytes) * 8 / capBits
 		}
 		res.Bottlenecks = append(res.Bottlenecks, lr)
-		res.LostPackets += lr.Dropped
+		res.LostPackets += lr.Dropped + lr.DroppedDown
 	}
 	return res
 }

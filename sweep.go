@@ -85,8 +85,18 @@ type SweepPoint struct {
 	// access delay spread·(i+1)/N — delays rise linearly to the declared
 	// maximum, replacing the topology default (0 = topology default for
 	// all receivers).
-	DelaySpreadNs Time   `json:"delay_spread_ns,omitempty"`
-	Seed          uint64 `json:"seed"`
+	DelaySpreadNs Time `json:"delay_spread_ns,omitempty"`
+	// ChurnRate, when positive, drives Poisson membership churn at this
+	// many toggles/second across the point's well-behaved receivers for
+	// the whole run.
+	ChurnRate float64 `json:"churn_rate,omitempty"`
+	// AttackAtNs, when positive, overrides the sweep-level AttackAt for
+	// this point (the attacker-onset-time axis).
+	AttackAtNs Time `json:"attack_at_ns,omitempty"`
+	// FlapPeriodNs, when positive, flaps the first bottleneck: down every
+	// period for a tenth of it.
+	FlapPeriodNs Time   `json:"flap_period_ns,omitempty"`
+	Seed         uint64 `json:"seed"`
 }
 
 // String renders the point compactly for logs and tables.
@@ -98,6 +108,15 @@ func (p SweepPoint) String() string {
 	}
 	if p.DelaySpreadNs > 0 {
 		s += fmt.Sprintf(" spread=%v", p.DelaySpreadNs)
+	}
+	if p.ChurnRate > 0 {
+		s += fmt.Sprintf(" churn=%g/s", p.ChurnRate)
+	}
+	if p.AttackAtNs > 0 {
+		s += fmt.Sprintf(" onset=%v", p.AttackAtNs)
+	}
+	if p.FlapPeriodNs > 0 {
+		s += fmt.Sprintf(" flap=%v", p.FlapPeriodNs)
 	}
 	return s
 }
@@ -128,6 +147,9 @@ type Sweep struct {
 	Bottlenecks  []int64        // bottleneck bits/s; default {1_000_000}
 	Slots        []Time         // slot durations; 0 = protocol default; default {0}
 	DelaySpreads []Time         // max absolute access delay across receivers; default {0}
+	ChurnRates   []float64      // Poisson membership toggles/second; 0 = static membership; default {0}
+	AttackAts    []Time         // attacker onset times; 0 = the sweep-level AttackAt; default {0}
+	FlapPeriods  []Time         // bottleneck flap periods (down a tenth of each); 0 = stable link; default {0}
 	Seeds        []uint64       // seed replicas; default {1}
 
 	// Duration is the simulated length of every point (default 30 s).
@@ -164,7 +186,8 @@ type PointResult struct {
 	Suppression float64 `json:"suppression"`
 	// Utilization is the mean bottleneck utilization in [0,1].
 	Utilization float64 `json:"utilization"`
-	// LostPackets totals drop-tail losses across the point's bottlenecks.
+	// LostPackets totals packets lost at the point's bottlenecks:
+	// drop-tail drops plus outage (down-link) discards.
 	LostPackets uint64 `json:"lost_packets"`
 	// Error is set when the point failed to build or run; statistics are
 	// zero in that case and the rest of the campaign is unaffected.
@@ -198,7 +221,7 @@ func (c *CampaignResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"protocol", "topology", "receivers", "attackers", "bottleneck_bps",
-		"slot_ms", "delay_spread_ms", "seed",
+		"slot_ms", "delay_spread_ms", "churn_rate", "attack_at_ms", "flap_period_ms", "seed",
 		"good_mean_kbps", "good_p10_kbps", "good_p50_kbps", "good_p90_kbps",
 		"attacker_mean_kbps", "suppression", "utilization", "lost_packets", "error",
 	}); err != nil {
@@ -212,6 +235,9 @@ func (c *CampaignResult) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(p.BottleneckBps, 10),
 			strconv.FormatFloat(float64(p.SlotNs)/float64(Millisecond), 'g', -1, 64),
 			strconv.FormatFloat(float64(p.DelaySpreadNs)/float64(Millisecond), 'g', -1, 64),
+			strconv.FormatFloat(p.ChurnRate, 'g', -1, 64),
+			strconv.FormatFloat(float64(p.AttackAtNs)/float64(Millisecond), 'g', -1, 64),
+			strconv.FormatFloat(float64(p.FlapPeriodNs)/float64(Millisecond), 'g', -1, 64),
 			strconv.FormatUint(p.Seed, 10),
 			fmt.Sprintf("%.3f", pt.GoodMeanKbps),
 			fmt.Sprintf("%.3f", pt.GoodP10Kbps),
@@ -240,6 +266,9 @@ type axes struct {
 	bottlenecks  []int64
 	slots        []Time
 	delaySpreads []Time
+	churnRates   []float64
+	attackAts    []Time
+	flapPeriods  []Time
 	seeds        []uint64
 
 	duration, warmup, attackAt Time
@@ -266,6 +295,9 @@ func (sw Sweep) normalize() (axes, error) {
 		bottlenecks:  sw.Bottlenecks,
 		slots:        sw.Slots,
 		delaySpreads: sw.DelaySpreads,
+		churnRates:   sw.ChurnRates,
+		attackAts:    sw.AttackAts,
+		flapPeriods:  sw.FlapPeriods,
 		seeds:        sw.Seeds,
 		duration:     sw.Duration,
 		warmup:       sw.Warmup,
@@ -285,6 +317,15 @@ func (sw Sweep) normalize() (axes, error) {
 	}
 	if len(a.delaySpreads) == 0 {
 		a.delaySpreads = []Time{0}
+	}
+	if len(a.churnRates) == 0 {
+		a.churnRates = []float64{0}
+	}
+	if len(a.attackAts) == 0 {
+		a.attackAts = []Time{0}
+	}
+	if len(a.flapPeriods) == 0 {
+		a.flapPeriods = []Time{0}
 	}
 	if len(a.seeds) == 0 {
 		a.seeds = []uint64{1}
@@ -306,6 +347,29 @@ func (sw Sweep) normalize() (axes, error) {
 		// the point would report a "defeated" attack that never ran.
 		if n > 0 && a.attackAt >= a.duration {
 			return axes{}, fmt.Errorf("deltasigma: sweep attack time %v must be inside duration %v", a.attackAt, a.duration)
+		}
+		for _, at := range a.attackAts {
+			if n > 0 && at >= a.duration {
+				return axes{}, fmt.Errorf("deltasigma: sweep attack onset %v must be inside duration %v", at, a.duration)
+			}
+		}
+	}
+	for _, r := range a.churnRates {
+		if r < 0 {
+			return axes{}, fmt.Errorf("deltasigma: sweep churn rate %g is negative", r)
+		}
+	}
+	for _, at := range a.attackAts {
+		if at < 0 {
+			return axes{}, fmt.Errorf("deltasigma: sweep attack onset %v is negative", at)
+		}
+	}
+	for _, p := range a.flapPeriods {
+		if p < 0 {
+			return axes{}, fmt.Errorf("deltasigma: sweep flap period %v is negative", p)
+		}
+		if p > 0 && p >= a.duration {
+			return axes{}, fmt.Errorf("deltasigma: sweep flap period %v must be inside duration %v", p, a.duration)
 		}
 	}
 	for _, t := range a.topologies {
@@ -344,7 +408,8 @@ func (sw Sweep) normalize() (axes, error) {
 func (a axes) grid() (campaign.Grid, error) {
 	return campaign.NewGrid(
 		len(a.protocols), len(a.topologies), len(a.receivers), len(a.attackers),
-		len(a.bottlenecks), len(a.slots), len(a.delaySpreads), len(a.seeds))
+		len(a.bottlenecks), len(a.slots), len(a.delaySpreads),
+		len(a.churnRates), len(a.attackAts), len(a.flapPeriods), len(a.seeds))
 }
 
 // point materializes grid coordinates into a SweepPoint and its topology
@@ -359,7 +424,10 @@ func (a axes) point(coords []int) (SweepPoint, TopologySpec) {
 		BottleneckBps: a.bottlenecks[coords[4]],
 		SlotNs:        a.slots[coords[5]],
 		DelaySpreadNs: a.delaySpreads[coords[6]],
-		Seed:          a.seeds[coords[7]],
+		ChurnRate:     a.churnRates[coords[7]],
+		AttackAtNs:    a.attackAts[coords[8]],
+		FlapPeriodNs:  a.flapPeriods[coords[9]],
+		Seed:          a.seeds[coords[10]],
 	}, spec
 }
 
@@ -483,12 +551,24 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 		}
 		s.AddReceiverDelay(delay)
 	}
-	var attackers []*Receiver
 	for i := 0; i < p.Attackers; i++ {
-		attackers = append(attackers, s.AddAttacker())
+		s.AddAttacker()
 	}
-	for _, r := range attackers {
-		e.At(a.attackAt, r.Inflate)
+	// Mid-run dynamics all ride the experiment timeline: attacker onset,
+	// Poisson membership churn and bottleneck flapping are the same
+	// mechanism a caller scripts through WithTimeline.
+	if p.Attackers > 0 {
+		onset := a.attackAt
+		if p.AttackAtNs > 0 {
+			onset = p.AttackAtNs
+		}
+		e.AddEvents(AttackerOnset{At: onset, Session: 1})
+	}
+	if p.ChurnRate > 0 {
+		e.AddEvents(PoissonChurn{Session: 1, Rate: p.ChurnRate, To: a.duration})
+	}
+	if p.FlapPeriodNs > 0 {
+		e.AddEvents(LinkFlap{Link: 0, Period: p.FlapPeriodNs, To: a.duration})
 	}
 	if sw.Configure != nil {
 		if err := sw.Configure(p, e); err != nil {
@@ -522,10 +602,12 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 	var util float64
 	links := e.Topo.Bottlenecks()
 	for _, l := range links {
-		if l.Rate > 0 {
-			util += float64(l.SentBytes) * 8 / (float64(l.Rate) * a.duration.Sec())
+		// CapacityBits integrates rate over up-time, so points whose links
+		// were re-rated, downed or flapped mid-run report true utilization.
+		if capBits := l.CapacityBits(); capBits > 0 {
+			util += float64(l.SentBytes) * 8 / capBits
 		}
-		pr.LostPackets += l.Queue.Dropped
+		pr.LostPackets += l.Queue.Dropped + l.DroppedDown
 	}
 	if len(links) > 0 {
 		pr.Utilization = util / float64(len(links))

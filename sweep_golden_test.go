@@ -46,7 +46,7 @@ func TestSweepGolden(t *testing.T) {
 		t.Fatalf("golden sweep had %d failures:\n%s", res1.Failures, js1)
 	}
 
-	res8, err := sw.Run(8)
+	res8, err := sw.Run(*sweepWorkers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestSweepGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(js1, js8) {
-		t.Fatal("sweep JSON differs between -workers=1 and -workers=8")
+		t.Fatalf("sweep JSON differs between -workers=1 and -workers=%d", *sweepWorkers)
 	}
 
 	path := filepath.Join("testdata", "sweep_golden.json")

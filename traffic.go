@@ -71,6 +71,13 @@ type CBR struct {
 	from, to Time
 }
 
+// Start begins emission. Safe mid-run — raw e.At closures and timeline
+// wiring drive this.
+func (c *CBR) Start() { c.src.Start() }
+
+// Stop halts emission. Safe mid-run.
+func (c *CBR) Stop() { c.src.Stop() }
+
 // Meter returns the delivered-bytes meter at the CBR sink.
 func (c *CBR) Meter() *Meter { return c.meter }
 
@@ -82,19 +89,22 @@ func (c *CBR) PacketsSent() uint64 { return c.src.PacketsSent }
 
 // Burst restricts the source to a single on-window: it starts at from and
 // stops permanently at to (the Figure 8e burst). Overrides the default
-// start at time zero; call before Run.
+// start at time zero; call before Run. The window rides the experiment
+// timeline — the same mechanism every other mid-run event uses.
 func (c *CBR) Burst(from, to Time) {
 	c.burst = true
 	c.from, c.to = from, to
 }
 
-func (c *CBR) schedule(sched *sim.Scheduler) {
+// schedule installs the source's lifecycle at Start: an always-on source
+// starts with the experiment, a burst window goes onto the timeline.
+func (c *CBR) schedule(e *Experiment) {
 	if c.burst {
-		sched.At(c.from, c.src.Start)
-		sched.At(c.to, c.src.Stop)
+		e.timeline.Add(c.from, c.src.Start)
+		e.timeline.Add(c.to, c.src.Stop)
 		return
 	}
-	sched.At(0, c.src.Start)
+	e.Topo.Scheduler().At(0, c.src.Start)
 }
 
 // AddCBR attaches a CBR source transmitting at rate bits/s with the given
