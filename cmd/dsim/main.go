@@ -30,12 +30,21 @@
 //	go run ./cmd/dsim sweep -campaign attacker-fraction -scale 0.5 -json
 //	go run ./cmd/dsim sweep -campaign churn -workers 4 -csv
 //	go run ./cmd/dsim sweep -list
+//
+// The `fuzz` subcommand machine-generates seeded adversarial scenarios and
+// runs each one under the full invariant-audit layer; failures are shrunk
+// to minimal JSON reproducers that `-repro` replays:
+//
+//	go run ./cmd/dsim fuzz -n 200 -seed 1 -workers 4
+//	go run ./cmd/dsim fuzz -repro fuzz_repro_42.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -45,38 +54,49 @@ import (
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		err = runSweep(os.Args[2:])
-	} else {
-		err = run()
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "sweep":
+		err = runSweep(os.Args[2:], os.Stdout)
+	case len(os.Args) > 1 && os.Args[1] == "fuzz":
+		err = runFuzz(os.Args[2:], os.Stdout)
+	default:
+		err = run(os.Args[1:], os.Stdout)
 	}
 	if err != nil {
+		// -h/-help reaches here as flag.ErrHelp under ContinueOnError; the
+		// usage text has already been printed, and help is not a failure.
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "dsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	protocol := flag.String("protocol", "flid-ds", "protocol variant (see -list)")
-	topology := flag.String("topology", "dumbbell", "topology: dumbbell, chain or star")
-	capacity := flag.String("capacity", "", "comma-separated bottleneck bits/s, one per link (default 250k per session)")
-	sessions := flag.Int("sessions", 2, "number of multicast sessions (one receiver each)")
-	groups := flag.Int("groups", 0, "groups per session (0 = the paper's 10; flid-ds-replicated wants ~6)")
-	attackAt := flag.Float64("attack", 0, "seconds until session 1's receiver inflates (0 = no attack)")
-	attackStop := flag.Float64("attackstop", 0, "seconds until the attacker deflates again (0 = attack runs to the end; needs -attack)")
-	churn := flag.Float64("churn", 0, "Poisson membership churn in toggles/s across each session's receivers (0 = static membership)")
-	flap := flag.Float64("flap", 0, "bottleneck flap period in seconds, down a tenth of each period (0 = stable links)")
-	nTCP := flag.Int("tcp", 0, "number of TCP Reno competitors")
-	cbrFrac := flag.Float64("cbr", 0, "on-off CBR cross traffic at this fraction of the narrowest bottleneck (0 = none)")
-	dur := flag.Float64("dur", 60, "simulated seconds")
-	seed := flag.Uint64("seed", 1, "random seed")
-	jsonOut := flag.Bool("json", false, "dump the typed Result as JSON instead of the progress table")
-	list := flag.Bool("list", false, "list registered protocols and exit")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dsim", flag.ContinueOnError)
+	protocol := fs.String("protocol", "flid-ds", "protocol variant (see -list)")
+	topology := fs.String("topology", "dumbbell", "topology: dumbbell, chain or star")
+	capacity := fs.String("capacity", "", "comma-separated bottleneck bits/s, one per link (default 250k per session)")
+	sessions := fs.Int("sessions", 2, "number of multicast sessions (one receiver each)")
+	groups := fs.Int("groups", 0, "groups per session (0 = the paper's 10; flid-ds-replicated wants ~6)")
+	attackAt := fs.Float64("attack", 0, "seconds until session 1's receiver inflates (0 = no attack)")
+	attackStop := fs.Float64("attackstop", 0, "seconds until the attacker deflates again (0 = attack runs to the end; needs -attack)")
+	churn := fs.Float64("churn", 0, "Poisson membership churn in toggles/s across each session's receivers (0 = static membership)")
+	flap := fs.Float64("flap", 0, "bottleneck flap period in seconds, down a tenth of each period (0 = stable links)")
+	nTCP := fs.Int("tcp", 0, "number of TCP Reno competitors")
+	cbrFrac := fs.Float64("cbr", 0, "on-off CBR cross traffic at this fraction of the narrowest bottleneck (0 = none)")
+	dur := fs.Float64("dur", 60, "simulated seconds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	jsonOut := fs.Bool("json", false, "dump the typed Result as JSON instead of the progress table")
+	list := fs.Bool("list", false, "list registered protocols and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range deltasigma.Protocols() {
-			fmt.Println(name)
+			fmt.Fprintln(out, name)
 		}
 		return nil
 	}
@@ -185,12 +205,12 @@ func run() error {
 	exp.AddEvents(events...)
 	if *jsonOut {
 		res := exp.Run(end)
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
 
-	fmt.Printf("%s on %s, %d sessions, bottleneck(s) %v bits/s\n\n",
+	fmt.Fprintf(out, "%s on %s, %d sessions, bottleneck(s) %v bits/s\n\n",
 		*protocol, *topology, *sessions, caps)
 
 	step := deltasigma.Time(5) * deltasigma.Second
@@ -198,18 +218,18 @@ func run() error {
 	for t := step; t <= end; t += step {
 		exp.Advance(t) // step cheaply; snapshot one Result at the end
 		last = t
-		fmt.Printf("t=%4.0fs", t.Sec())
+		fmt.Fprintf(out, "t=%4.0fs", t.Sec())
 		for _, r := range receivers {
-			fmt.Printf("  %s: %3.0fKbps (lvl %d)", r.Label(), r.Meter().AvgKbps(t-step, t), r.Level())
+			fmt.Fprintf(out, "  %s: %3.0fKbps (lvl %d)", r.Label(), r.Meter().AvgKbps(t-step, t), r.Level())
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if last > 0 {
 		res := exp.Run(last)
-		fmt.Printf("\nbottleneck utilization %.0f%%, %d packets lost\n",
+		fmt.Fprintf(out, "\nbottleneck utilization %.0f%%, %d packets lost\n",
 			100*res.Utilization(), res.LostPackets)
 		for _, c := range res.Cross {
-			fmt.Printf("%s: %.0f Kbps average\n", c.Label, c.AvgKbps)
+			fmt.Fprintf(out, "%s: %.0f Kbps average\n", c.Label, c.AvgKbps)
 		}
 	}
 	return nil

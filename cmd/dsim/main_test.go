@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deltasigma"
+	"deltasigma/internal/fuzzing"
+)
+
+// Flag validation of the single-scenario mode: every rejected combination
+// must error before any simulation runs.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"zero sessions", []string{"-sessions", "0"}, "-sessions"},
+		{"bad topology", []string{"-topology", "ring"}, "unknown topology"},
+		{"bad capacity", []string{"-capacity", "abc"}, "bad capacity"},
+		{"negative capacity", []string{"-capacity", "-5"}, "bad capacity"},
+		{"dumbbell capacity count", []string{"-capacity", "100000,200000"}, "exactly one"},
+		{"bad protocol", []string{"-protocol", "nope"}, "unknown protocol"},
+		{"attack past end", []string{"-attack", "70", "-dur", "60"}, "inside -dur"},
+		{"attackstop without attack", []string{"-attackstop", "30"}, "needs -attack"},
+		{"attackstop before attack", []string{"-attack", "40", "-attackstop", "30", "-dur", "60"}, "must come after"},
+		{"attackstop past end", []string{"-attack", "10", "-attackstop", "80", "-dur", "60"}, "inside -dur"},
+		{"flap past end", []string{"-flap", "90", "-dur", "60"}, "inside -dur"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error = %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// -list prints the registry and runs nothing.
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range deltasigma.Protocols() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// The default mode's -json output is the typed Result, parseable and
+// shaped by the flags.
+func TestRunJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sessions", "2", "-dur", "2", "-json", "-protocol", "flid-dl"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res deltasigma.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, buf.String())
+	}
+	if res.Protocol != "flid-dl" {
+		t.Errorf("protocol = %q, want flid-dl", res.Protocol)
+	}
+	if len(res.Receivers) != 2 {
+		t.Errorf("receivers = %d, want 2 (one per session)", len(res.Receivers))
+	}
+	if res.Seconds != 2 {
+		t.Errorf("seconds = %g, want 2", res.Seconds)
+	}
+}
+
+// The progress table renders a line per 5-second step plus the summary.
+func TestRunTableOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sessions", "1", "-dur", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "t=   5s") || !strings.Contains(s, "t=  10s") {
+		t.Errorf("missing progress rows:\n%s", s)
+	}
+	if !strings.Contains(s, "bottleneck utilization") {
+		t.Errorf("missing summary row:\n%s", s)
+	}
+}
+
+// Sweep flag validation.
+func TestSweepFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad topology token", []string{"-topologies", "ring"}, "unknown topology"},
+		{"bad chain count", []string{"-topologies", "chainx"}, "bad topology"},
+		{"bad receivers", []string{"-receivers", "two"}, "-receivers"},
+		{"bad seeds", []string{"-seeds", "x"}, "-seeds"},
+		{"unknown campaign", []string{"-campaign", "nope"}, "unknown campaign"},
+		{"campaign axis conflict", []string{"-campaign", "churn", "-receivers", "4"}, "no effect with -campaign"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := runSweep(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("runSweep(%v) error = %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// Sweep -json emits a CampaignResult whose points enumerate the declared
+// grid in order.
+func TestSweepJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	err := runSweep([]string{
+		"-protocols", "flid-dl", "-receivers", "1,2", "-attackers", "0,1",
+		"-dur", "2", "-workers", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res deltasigma.CampaignResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, buf.String())
+	}
+	if res.Name != "adhoc" {
+		t.Errorf("name = %q, want adhoc", res.Name)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 receivers × 2 attackers)", len(res.Points))
+	}
+	// Grid order: receivers vary slower than attackers.
+	wantOrder := [][2]int{{1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	for i, p := range res.Points {
+		if p.Point.Receivers != wantOrder[i][0] || p.Point.Attackers != wantOrder[i][1] {
+			t.Errorf("point %d = r%d a%d, want r%d a%d",
+				i, p.Point.Receivers, p.Point.Attackers, wantOrder[i][0], wantOrder[i][1])
+		}
+	}
+	if res.Failures != 0 {
+		t.Errorf("%d points failed", res.Failures)
+	}
+}
+
+// Sweep -csv emits one header plus one row per grid point, with the header
+// column set the docs promise.
+func TestSweepCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	err := runSweep([]string{
+		"-protocols", "flid-dl,flid-ds", "-dur", "2", "-csv",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2 points", len(rows))
+	}
+	header := rows[0]
+	for i, want := range []string{"protocol", "topology", "receivers", "attackers", "bottleneck_bps"} {
+		if header[i] != want {
+			t.Errorf("header[%d] = %q, want %q", i, header[i], want)
+		}
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Errorf("ragged row: %d cells vs %d header columns", len(row), len(header))
+		}
+	}
+	if rows[1][0] != "flid-dl" || rows[2][0] != "flid-ds" {
+		t.Errorf("protocol axis out of order: %q, %q", rows[1][0], rows[2][0])
+	}
+}
+
+// The fuzz subcommand: a small clean corpus exits zero with a parseable
+// JSON summary, and a failing repro replays with a nonzero outcome.
+func TestFuzzSmokeAndSummary(t *testing.T) {
+	var buf bytes.Buffer
+	err := runFuzz([]string{"-n", "4", "-seed", "1", "-workers", "2", "-json", "-out", t.TempDir()}, &buf)
+	if err != nil {
+		t.Fatalf("clean corpus failed: %v\n%s", err, buf.String())
+	}
+	var sums []fuzzing.Summary
+	if err := json.Unmarshal(buf.Bytes(), &sums); err != nil {
+		t.Fatalf("non-JSON summary: %v\n%s", err, buf.String())
+	}
+	if len(sums) != 4 || sums[0].Seed != 1 || !sums[3].Pass {
+		t.Fatalf("bad summary: %+v", sums)
+	}
+}
+
+func TestFuzzFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFuzz([]string{"-n", "0"}, &buf); err == nil || !strings.Contains(err.Error(), "-n") {
+		t.Fatalf("zero -n accepted: %v", err)
+	}
+	if err := runFuzz([]string{"-repro", "/no/such/file.json"}, &buf); err == nil {
+		t.Fatal("missing repro file accepted")
+	}
+}
+
+// A repro file for a genuinely failing spec replays as a failure (nonzero
+// error) with its violations printed.
+func TestFuzzReproReplay(t *testing.T) {
+	spec := fuzzing.Spec{
+		Seed:        5,
+		Protocol:    "flid-dl",
+		Topology:    fuzzing.TopoSpec{Kind: "dumbbell", CapacitiesBps: []int64{600_000}},
+		DurationSec: 10,
+		Sessions: []fuzzing.SessionSpec{
+			{Receivers: []fuzzing.ReceiverSpec{{}, {Attacker: true}}},
+		},
+		Events: []fuzzing.EventSpec{{Kind: fuzzing.EvOnset, AtSec: 2, Session: 1, Receiver: 2}},
+		Oracle: &fuzzing.OracleSpec{Session: 1, FromSec: 6, Factor: 1.25, FloorKbps: 30},
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	js, _ := json.Marshal(spec)
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runFuzz([]string{"-repro", path}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "repro still fails") {
+		t.Fatalf("failing repro did not fail: %v", err)
+	}
+	if !strings.Contains(buf.String(), "suppression-oracle") {
+		t.Errorf("violations not printed:\n%s", buf.String())
+	}
+}

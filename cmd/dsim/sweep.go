@@ -6,7 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strconv"
 	"strings"
 
@@ -15,7 +15,7 @@ import (
 	"deltasigma/internal/scenario"
 )
 
-func runSweep(args []string) error {
+func runSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsim sweep", flag.ContinueOnError)
 	camp := fs.String("campaign", "", "run a canned campaign (see -list) instead of an ad-hoc grid")
 	scale := fs.Float64("scale", 1, "duration scale for canned campaigns (1 = full length)")
@@ -43,7 +43,7 @@ func runSweep(args []string) error {
 
 	if *list {
 		for _, c := range scenario.Campaigns() {
-			fmt.Printf("%-20s %s (%d points at scale 1)\n", c.Name, c.Description, c.Build(scenario.DefaultOptions()).Size())
+			fmt.Fprintf(out, "%-20s %s (%d points at scale 1)\n", c.Name, c.Description, c.Build(scenario.DefaultOptions()).Size())
 		}
 		return nil
 	}
@@ -90,16 +90,16 @@ func runSweep(args []string) error {
 	}
 	switch {
 	case *jsonOut:
-		out, err := res.JSON()
+		js, err := res.JSON()
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprintf(os.Stdout, "%s\n", out)
+		_, err = fmt.Fprintf(out, "%s\n", js)
 		return err
 	case *csvOut:
-		return res.WriteCSV(os.Stdout)
+		return res.WriteCSV(out)
 	default:
-		printSweepTable(res, *workers)
+		printSweepTable(res, *workers, out)
 		return nil
 	}
 }
@@ -186,7 +186,7 @@ func parseTopologySpec(tok string) (deltasigma.TopologySpec, error) {
 	}
 }
 
-func printSweepTable(res *deltasigma.CampaignResult, workers int) {
+func printSweepTable(res *deltasigma.CampaignResult, workers int, out io.Writer) {
 	if workers <= 0 {
 		workers = campaign.DefaultWorkers()
 	}
@@ -194,17 +194,17 @@ func printSweepTable(res *deltasigma.CampaignResult, workers int) {
 	if name == "" {
 		name = "sweep"
 	}
-	fmt.Printf("%s: %d points, %.0f simulated seconds each\n\n", name, len(res.Points), res.DurationNs.Sec())
-	fmt.Printf("%-44s %10s %10s %10s %8s %6s\n", "point", "good Kbps", "p90 Kbps", "atk Kbps", "util", "lost")
+	fmt.Fprintf(out, "%s: %d points, %.0f simulated seconds each\n\n", name, len(res.Points), res.DurationNs.Sec())
+	fmt.Fprintf(out, "%-44s %10s %10s %10s %8s %6s\n", "point", "good Kbps", "p90 Kbps", "atk Kbps", "util", "lost")
 	for _, p := range res.Points {
 		if p.Error != "" {
-			fmt.Printf("%-44s FAILED: %s\n", p.Point, p.Error)
+			fmt.Fprintf(out, "%-44s FAILED: %s\n", p.Point, p.Error)
 			continue
 		}
-		fmt.Printf("%-44s %10.1f %10.1f %10.1f %7.1f%% %6d\n",
+		fmt.Fprintf(out, "%-44s %10.1f %10.1f %10.1f %7.1f%% %6d\n",
 			p.Point, p.GoodMeanKbps, p.GoodP90Kbps, p.AttackerMeanKbps, 100*p.Utilization, p.LostPackets)
 	}
-	fmt.Printf("\n%d workers, %d failures, wall clock %v\n", workers, res.Failures, res.Elapsed.Round(res.Elapsed/100+1))
+	fmt.Fprintf(out, "\n%d workers, %d failures, wall clock %v\n", workers, res.Failures, res.Elapsed.Round(res.Elapsed/100+1))
 }
 
 // flagWasSet reports whether the named flag was set explicitly on the

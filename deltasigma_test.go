@@ -1,15 +1,17 @@
-package deltasigma
+package deltasigma_test
 
 import (
 	"strings"
 	"testing"
+
+	"deltasigma"
 )
 
 func TestProtocolRegistryNames(t *testing.T) {
 	want := []string{"flid-dl", "flid-ds", "flid-ds-replicated", "flid-ds-threshold"}
-	got := Protocols()
+	got := deltasigma.Protocols()
 	for _, name := range want {
-		p, ok := LookupProtocol(name)
+		p, ok := deltasigma.LookupProtocol(name)
 		if !ok {
 			t.Fatalf("protocol %q not registered (have %v)", name, got)
 		}
@@ -21,35 +23,35 @@ func TestProtocolRegistryNames(t *testing.T) {
 		}
 	}
 	if len(got) < len(want) {
-		t.Fatalf("Protocols() = %v, want at least %d entries", got, len(want))
+		t.Fatalf("deltasigma.Protocols() = %v, want at least %d entries", got, len(want))
 	}
 }
 
 func TestNewRejectsBadOptions(t *testing.T) {
-	if _, err := New(WithProtocol("no-such-protocol")); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithProtocol("no-such-protocol")); err == nil {
 		t.Fatal("unknown protocol accepted")
 	} else if !strings.Contains(err.Error(), "no-such-protocol") {
 		t.Fatalf("error does not name the protocol: %v", err)
 	}
-	if _, err := New(WithSlot(-Second)); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithSlot(-deltasigma.Second)); err == nil {
 		t.Fatal("negative slot accepted")
 	}
-	if _, err := New(WithECN(1.5)); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithECN(1.5)); err == nil {
 		t.Fatal("out-of-range ECN fraction accepted")
 	}
-	if _, err := New(WithPacketSize(0)); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithPacketSize(0)); err == nil {
 		t.Fatal("zero packet size accepted")
 	}
-	if _, err := New(WithSchedule(RateSchedule{Base: 100_000, Mult: 1.5, N: 300})); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithSchedule(deltasigma.RateSchedule{Base: 100_000, Mult: 1.5, N: 300})); err == nil {
 		t.Fatal("invalid schedule accepted (must error, not panic)")
 	}
-	if _, err := New(WithChain()); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithChain()); err == nil {
 		t.Fatal("empty chain accepted (must error, not panic)")
 	}
-	if _, err := New(WithStar(-1)); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithStar(-1)); err == nil {
 		t.Fatal("negative star spoke accepted (must error, not panic)")
 	}
-	if _, err := New(WithDumbbell(0)); err == nil {
+	if _, err := deltasigma.New(deltasigma.WithDumbbell(0)); err == nil {
 		t.Fatal("zero dumbbell capacity accepted (must error, not panic)")
 	}
 }
@@ -59,9 +61,9 @@ func TestNewRejectsBadOptions(t *testing.T) {
 // so the paper's 10-group schedule (≈11.3 Mbps summed) would overflow the
 // 10 Mbps access links; the variant gets the 6-group schedule its demo
 // uses (≈2.1 Mbps summed).
-func protocolOptions(name string) []Option {
+func protocolOptions(name string) []deltasigma.Option {
 	if name == "flid-ds-replicated" {
-		return []Option{WithSchedule(RateSchedule{Base: 100_000, Mult: 1.5, N: 6})}
+		return []deltasigma.Option{deltasigma.WithSchedule(deltasigma.RateSchedule{Base: 100_000, Mult: 1.5, N: 6})}
 	}
 	return nil
 }
@@ -72,16 +74,16 @@ func protocolOptions(name string) []Option {
 // every 5 s because the threshold variant probes and oscillates around the
 // fair level by design.
 func TestEveryProtocolConverges(t *testing.T) {
-	for _, name := range Protocols() {
+	for _, name := range deltasigma.Protocols() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			opts := append([]Option{WithDumbbell(250_000), WithProtocol(name), WithSeed(7)},
+			opts := append([]deltasigma.Option{deltasigma.WithDumbbell(250_000), deltasigma.WithProtocol(name), deltasigma.WithSeed(7)},
 				protocolOptions(name)...)
-			exp := MustNew(opts...)
+			exp := deltasigma.MustNew(opts...)
 			r := exp.AddSession(1).Receivers[0]
 			maxLevel := 0
-			var res *Result
-			for at := Time(5) * Second; at <= 40*Second; at += 5 * Second {
+			var res *deltasigma.Result
+			for at := deltasigma.Time(5) * deltasigma.Second; at <= 40*deltasigma.Second; at += 5 * deltasigma.Second {
 				res = exp.Run(at)
 				if lvl := r.Level(); lvl > maxLevel {
 					maxLevel = lvl
@@ -90,12 +92,13 @@ func TestEveryProtocolConverges(t *testing.T) {
 			if maxLevel < 2 {
 				t.Fatalf("%s: max level = %d, want convergence toward 3", name, maxLevel)
 			}
-			if avg := r.Meter().AvgKbps(20*Second, 40*Second); avg < 80 {
+			if avg := r.Meter().AvgKbps(20*deltasigma.Second, 40*deltasigma.Second); avg < 80 {
 				t.Fatalf("%s: throughput %.0f Kbps too low", name, avg)
 			}
 			if u := res.Utilization(); u <= 0.2 || u > 1.05 {
 				t.Fatalf("%s: bottleneck utilization %.2f implausible", name, u)
 			}
+			drainAndVerify(t, exp)
 		})
 	}
 }
@@ -104,27 +107,28 @@ func TestEveryProtocolConverges(t *testing.T) {
 // paper is about: under every protected protocol the inflated-subscription
 // attacker gains nothing and the victim session survives.
 func TestAttackSuppressedUnderEveryProtectedVariant(t *testing.T) {
-	for _, name := range Protocols() {
-		p, _ := LookupProtocol(name)
+	for _, name := range deltasigma.Protocols() {
+		p, _ := deltasigma.LookupProtocol(name)
 		if !p.Protected() {
 			continue
 		}
 		name := name
 		t.Run(name, func(t *testing.T) {
-			opts := append([]Option{WithDumbbell(500_000), WithProtocol(name), WithSeed(8)},
+			opts := append([]deltasigma.Option{deltasigma.WithDumbbell(500_000), deltasigma.WithProtocol(name), deltasigma.WithSeed(8)},
 				protocolOptions(name)...)
-			exp := MustNew(opts...)
+			exp := deltasigma.MustNew(opts...)
 			atk := exp.AddSession(0).AddAttacker()
 			victim := exp.AddSession(1).Receivers[0]
-			exp.At(20*Second, atk.Inflate)
-			exp.Run(50 * Second)
+			exp.At(20*deltasigma.Second, atk.Inflate)
+			exp.Run(50 * deltasigma.Second)
 
-			if rate := atk.Meter().AvgKbps(35*Second, 50*Second); rate > 400 {
+			if rate := atk.Meter().AvgKbps(35*deltasigma.Second, 50*deltasigma.Second); rate > 400 {
 				t.Fatalf("%s: attacker at %.0f Kbps exceeds any fair reading of 250 Kbps", name, rate)
 			}
-			if rate := victim.Meter().AvgKbps(35*Second, 50*Second); rate < 80 {
+			if rate := victim.Meter().AvgKbps(35*deltasigma.Second, 50*deltasigma.Second); rate < 80 {
 				t.Fatalf("%s: victim starved at %.0f Kbps", name, rate)
 			}
+			drainAndVerify(t, exp)
 		})
 	}
 }
@@ -132,16 +136,17 @@ func TestAttackSuppressedUnderEveryProtectedVariant(t *testing.T) {
 // TestBaselineAttackSucceeds pins the other half of the contrast: under
 // plain FLID-DL the same attack does profit.
 func TestBaselineAttackSucceeds(t *testing.T) {
-	exp := MustNew(WithDumbbell(500_000), WithProtocol("flid-dl"), WithSeed(8))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(500_000), deltasigma.WithProtocol("flid-dl"), deltasigma.WithSeed(8))
 	atk := exp.AddSession(0).AddAttacker()
 	victim := exp.AddSession(1).Receivers[0]
-	exp.At(20*Second, atk.Inflate)
-	exp.Run(50 * Second)
-	atkRate := atk.Meter().AvgKbps(35*Second, 50*Second)
-	victimRate := victim.Meter().AvgKbps(35*Second, 50*Second)
+	exp.At(20*deltasigma.Second, atk.Inflate)
+	exp.Run(50 * deltasigma.Second)
+	atkRate := atk.Meter().AvgKbps(35*deltasigma.Second, 50*deltasigma.Second)
+	victimRate := victim.Meter().AvgKbps(35*deltasigma.Second, 50*deltasigma.Second)
 	if atkRate < 2*victimRate {
 		t.Fatalf("baseline attack ineffective: %.0f vs %.0f Kbps", atkRate, victimRate)
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestChainTopology proves the Topology abstraction on a two-bottleneck
@@ -149,12 +154,12 @@ func TestBaselineAttackSucceeds(t *testing.T) {
 // level for that link while a receiver behind only the 1 Mbps first hop
 // climbs higher.
 func TestChainTopology(t *testing.T) {
-	exp := MustNew(WithChain(1_000_000, 250_000), WithProtocol("flid-ds"), WithSeed(9))
-	chain := exp.Topo.(*Chain)
+	exp := deltasigma.MustNew(deltasigma.WithChain(1_000_000, 250_000), deltasigma.WithProtocol("flid-ds"), deltasigma.WithSeed(9))
+	chain := exp.Topo.(*deltasigma.Chain)
 	sess := exp.AddSession(1) // default egress: far end, behind both hops
 	far := sess.Receivers[0]
 	near := sess.AddReceiverAt(chain.AttachReceiverAt(1, "near", 0))
-	res := exp.Run(60 * Second)
+	res := exp.Run(60 * deltasigma.Second)
 
 	if lvl := far.Level(); lvl < 2 || lvl > 4 {
 		t.Fatalf("far receiver at level %d, want near the 250 Kbps fair level 3", lvl)
@@ -166,16 +171,17 @@ func TestChainTopology(t *testing.T) {
 	if len(res.Bottlenecks) != 2 {
 		t.Fatalf("want 2 bottleneck entries, got %d", len(res.Bottlenecks))
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestStarPerEdgeGatekeepers proves the star: receivers of one session
 // behind spokes of different capacity converge to different levels, each
 // enforced by its own SIGMA edge.
 func TestStarPerEdgeGatekeepers(t *testing.T) {
-	exp := MustNew(WithStar(600_000, 150_000), WithProtocol("flid-ds"), WithSeed(10))
+	exp := deltasigma.MustNew(deltasigma.WithStar(600_000, 150_000), deltasigma.WithProtocol("flid-ds"), deltasigma.WithSeed(10))
 	sess := exp.AddSession(2) // round-robin: R1 on the 600k spoke, R2 on the 150k spoke
 	fast, slow := sess.Receivers[0], sess.Receivers[1]
-	exp.Run(60 * Second)
+	exp.Run(60 * deltasigma.Second)
 
 	if slow.Level() > 3 {
 		t.Fatalf("slow-spoke receiver at level %d despite a 150 Kbps bottleneck", slow.Level())
@@ -184,24 +190,25 @@ func TestStarPerEdgeGatekeepers(t *testing.T) {
 		t.Fatalf("fast-spoke receiver at level %d, not above slow spoke's %d",
 			fast.Level(), slow.Level())
 	}
-	if fast.Meter().AvgKbps(30*Second, 60*Second) <= slow.Meter().AvgKbps(30*Second, 60*Second) {
+	if fast.Meter().AvgKbps(30*deltasigma.Second, 60*deltasigma.Second) <= slow.Meter().AvgKbps(30*deltasigma.Second, 60*deltasigma.Second) {
 		t.Fatal("fast spoke did not outpace slow spoke")
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestCrossTrafficOptions runs a protected session against a TCP Reno flow
 // and on-off CBR through the facade and checks everyone gets a share.
 func TestCrossTrafficOptions(t *testing.T) {
-	exp := MustNew(WithDumbbell(750_000), WithProtocol("flid-ds"), WithSeed(11))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(750_000), deltasigma.WithProtocol("flid-ds"), deltasigma.WithSeed(11))
 	r := exp.AddSession(1).Receivers[0]
 	tcpFlow := exp.AddTCP(0)
-	exp.AddCBR(75_000, 5*Second, 5*Second)
-	res := exp.Run(60 * Second)
+	exp.AddCBR(75_000, 5*deltasigma.Second, 5*deltasigma.Second)
+	res := exp.Run(60 * deltasigma.Second)
 
-	if avg := r.Meter().AvgKbps(30*Second, 60*Second); avg < 80 {
+	if avg := r.Meter().AvgKbps(30*deltasigma.Second, 60*deltasigma.Second); avg < 80 {
 		t.Fatalf("multicast receiver starved at %.0f Kbps", avg)
 	}
-	if avg := tcpFlow.Meter().AvgKbps(30*Second, 60*Second); avg < 50 {
+	if avg := tcpFlow.Meter().AvgKbps(30*deltasigma.Second, 60*deltasigma.Second); avg < 50 {
 		t.Fatalf("TCP flow starved at %.0f Kbps", avg)
 	}
 	if len(res.Cross) != 2 {
@@ -212,16 +219,17 @@ func TestCrossTrafficOptions(t *testing.T) {
 			t.Fatalf("cross flow %s delivered nothing", c.Label)
 		}
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestRunAutoStartsAndResult checks the satellite fixes: Run without an
 // explicit Start no longer hangs silently, Start stays idempotent, and the
 // typed Result carries coherent data.
 func TestRunAutoStartsAndResult(t *testing.T) {
-	exp := MustNew(WithDumbbell(250_000), WithSeed(12))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(250_000), deltasigma.WithSeed(12))
 	exp.AddSession(1)
-	res := exp.Run(30 * Second) // no Start() — must auto-start
-	exp.Start()                 // idempotent after the fact
+	res := exp.Run(30 * deltasigma.Second) // no Start() — must auto-start
+	exp.Start()                            // idempotent after the fact
 
 	if res.Protocol != "flid-ds" {
 		t.Fatalf("result protocol %q", res.Protocol)
@@ -247,37 +255,39 @@ func TestRunAutoStartsAndResult(t *testing.T) {
 	}
 
 	// A Run into the past must not rewind the clock or skew the snapshot.
-	stale := exp.Run(5 * Second)
-	if stale.Seconds != 30 || exp.Now() != 30*Second {
+	stale := exp.Run(5 * deltasigma.Second)
+	if stale.Seconds != 30 || exp.Now() != 30*deltasigma.Second {
 		t.Fatalf("Run into the past rewound: seconds=%.0f now=%v", stale.Seconds, exp.Now())
 	}
 	if u := stale.Utilization(); u > 1.05 {
 		t.Fatalf("stale-until snapshot inflated utilization to %.2f", u)
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestECNOption checks WithECN wires marking and edge scrubbing end to
 // end: the queue marks, the receiver still converges, losses stay rare.
 func TestECNOption(t *testing.T) {
-	exp := MustNew(WithDumbbell(250_000), WithECN(0.4), WithSeed(21))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(250_000), deltasigma.WithECN(0.4), deltasigma.WithSeed(21))
 	r := exp.AddSession(1).Receivers[0]
-	res := exp.Run(40 * Second)
+	res := exp.Run(40 * deltasigma.Second)
 	if res.Bottlenecks[0].Marked == 0 {
 		t.Fatal("ECN enabled but nothing was marked")
 	}
 	if r.Level() < 2 {
 		t.Fatalf("receiver stuck at level %d under ECN", r.Level())
 	}
+	drainAndVerify(t, exp)
 }
 
 // TestWideScheduleSessionsDontOverlap pins the session address-block
 // sizing: schedules wider than the minimum spacing must still get
 // disjoint group blocks.
 func TestWideScheduleSessionsDontOverlap(t *testing.T) {
-	exp := MustNew(
-		WithDumbbell(500_000),
-		WithSchedule(RateSchedule{Base: 10_000, Mult: 1.05, N: 40}),
-		WithSeed(14),
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(500_000),
+		deltasigma.WithSchedule(deltasigma.RateSchedule{Base: 10_000, Mult: 1.05, N: 40}),
+		deltasigma.WithSeed(14),
 	)
 	s1 := exp.AddSession(0)
 	s2 := exp.AddSession(0)
@@ -289,9 +299,9 @@ func TestWideScheduleSessionsDontOverlap(t *testing.T) {
 // TestAddAfterStartPanics pins the wiring guard: agents added after the
 // experiment has started would silently never run, so the facade refuses.
 func TestAddAfterStartPanics(t *testing.T) {
-	exp := MustNew(WithDumbbell(250_000), WithSeed(15))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(250_000), deltasigma.WithSeed(15))
 	exp.AddSession(1)
-	exp.Advance(1 * Second)
+	exp.Advance(1 * deltasigma.Second)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("AddSession after start must panic, not silently no-op")
@@ -301,7 +311,7 @@ func TestAddAfterStartPanics(t *testing.T) {
 }
 
 func TestFacadePaperSchedule(t *testing.T) {
-	rs := PaperSchedule()
+	rs := deltasigma.PaperSchedule()
 	if rs.N != 10 || rs.Base != 100_000 {
 		t.Fatalf("unexpected schedule %+v", rs)
 	}
@@ -310,7 +320,7 @@ func TestFacadePaperSchedule(t *testing.T) {
 // TestAttackerLabelAndUnwrap pins the receiver bookkeeping the results
 // depend on.
 func TestAttackerLabelAndUnwrap(t *testing.T) {
-	exp := MustNew(WithDumbbell(250_000), WithSeed(13))
+	exp := deltasigma.MustNew(deltasigma.WithDumbbell(250_000), deltasigma.WithSeed(13))
 	s := exp.AddSession(1)
 	atk := s.AddAttacker()
 	if !atk.Attacker() || atk.Label() != "S1R2(attacker)" {

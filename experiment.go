@@ -43,11 +43,18 @@ type Experiment struct {
 	pktSize  int
 	ecnFrac  float64
 
-	nextID   uint16
-	started  bool
-	sessions []*ExperimentSession
-	tcps     []*TCPFlow
-	cbrs     []*CBR
+	nextID    uint16
+	started   bool
+	stoppedAt Time // when StopTraffic first ran; 0 while traffic flows
+	sessions  []*ExperimentSession
+	tcps      []*TCPFlow
+	cbrs      []*CBR
+
+	// audit is the invariant layer attached by WithAudit (nil otherwise);
+	// poolBase snapshots the pool's outstanding gauge at construction so
+	// balance is judged per-experiment even on a shared campaign pool.
+	audit    *Audit
+	poolBase uint64
 
 	// events holds declared timeline events until Start resolves them onto
 	// the timeline; churns keeps the live Poisson generators for metrics.
@@ -89,7 +96,7 @@ func New(opts ...Option) (*Experiment, error) {
 	if s.pool != nil {
 		t.Network().SetPool(s.pool)
 	}
-	return &Experiment{
+	e := &Experiment{
 		Topo:     t,
 		Protocol: s.protocol,
 		seed:     s.seed,
@@ -98,7 +105,12 @@ func New(opts ...Option) (*Experiment, error) {
 		pktSize:  s.pktSize,
 		ecnFrac:  s.ecnFrac,
 		events:   s.events,
-	}, nil
+		poolBase: t.Network().Pool().Outstanding(),
+	}
+	if s.audit.enabled {
+		e.audit = newAudit(e, s.audit)
+	}
+	return e, nil
 }
 
 // MustNew is New, panicking on option errors — for examples, tests and
@@ -377,6 +389,10 @@ func (e *Experiment) Start() {
 		panic("deltasigma: " + err.Error())
 	}
 	e.timeline.Install(sched)
+
+	if e.audit != nil {
+		e.audit.install(sched)
+	}
 }
 
 // Controllers returns the SIGMA controllers installed at Start (empty for

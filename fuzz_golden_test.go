@@ -1,0 +1,67 @@
+package deltasigma_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltasigma/internal/fuzzing"
+)
+
+// fuzzGoldenSeeds is the pinned corpus size: seeds 1..64 of the scenario
+// generator, summarized as seed → fingerprint → pass.
+const fuzzGoldenSeeds = 64
+
+// marshalFuzzSummary renders the corpus digest the golden file pins.
+func marshalFuzzSummary(sums []fuzzing.Summary) ([]byte, error) {
+	return json.MarshalIndent(sums, "", "  ")
+}
+
+// TestFuzzGolden locks the fuzzer end to end, alongside the sweep and
+// churn goldens: the 64-seed corpus summary — which scenario every seed
+// generates and what the audited run computes — is byte-identical across
+// worker counts and pinned against testdata/fuzz_golden.json, so neither
+// the generator, the engine, nor the audit layer can drift silently. The
+// pinned corpus is all-pass: any engine change that breaks a conservation
+// law flips a pass bit and fails here before CI's bigger fuzz-smoke runs.
+func TestFuzzGolden(t *testing.T) {
+	serial := fuzzing.Summarize(fuzzing.Campaign(1, fuzzGoldenSeeds, 1))
+	js1, err := marshalFuzzSummary(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := fuzzing.Summarize(fuzzing.Campaign(1, fuzzGoldenSeeds, *sweepWorkers))
+	jsN, err := marshalFuzzSummary(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, jsN) {
+		t.Fatalf("fuzz corpus summary differs between -workers=1 and -workers=%d", *sweepWorkers)
+	}
+	for _, s := range serial {
+		if !s.Pass {
+			t.Errorf("seed %d fails its invariants in the pinned corpus", s.Seed)
+		}
+	}
+
+	path := filepath.Join("testdata", "fuzz_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(js1, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(append(js1, '\n'), want) {
+		t.Errorf("fuzz corpus diverged from golden file %s:\ngot:\n%s\nwant:\n%s", path, js1, want)
+	}
+}

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The mixed-radix encoding is a bijection for arbitrary grid shapes:
+// Index(Coords(i)) == i for every point, Coords stays within the axis
+// lengths, enumeration covers exactly Size() distinct coordinate tuples,
+// and the first axis varies slowest (row-major order).
+func TestGridBijectionRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 150; trial++ {
+		nAxes := 1 + rng.IntN(5)
+		dims := make([]int, nAxes)
+		size := 1
+		for i := range dims {
+			dims[i] = 1 + rng.IntN(5)
+			size *= dims[i]
+		}
+		g, err := NewGrid(dims...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.Size() != size {
+			t.Fatalf("trial %d: Size() = %d, want %d", trial, g.Size(), size)
+		}
+
+		seen := make(map[string]bool, size)
+		prev := make([]int, nAxes)
+		for i := 0; i < size; i++ {
+			coords := g.Coords(i)
+			// Bounds.
+			key := ""
+			for a, c := range coords {
+				if c < 0 || c >= dims[a] {
+					t.Fatalf("trial %d: point %d coordinate %d out of range on axis %d (len %d)", trial, i, c, a, dims[a])
+				}
+				key += string(rune('0' + c))
+			}
+			// Injectivity (with size points, also surjectivity).
+			if seen[key] {
+				t.Fatalf("trial %d: coordinates %v repeat at point %d", trial, coords, i)
+			}
+			seen[key] = true
+			// Round trip.
+			if back := g.Index(coords); back != i {
+				t.Fatalf("trial %d: Index(Coords(%d)) = %d", trial, i, back)
+			}
+			// Row-major (first axis slowest): re-reading i and i-1 as
+			// mixed-radix numbers, i's value is exactly one greater.
+			if i > 0 {
+				val, prevVal := 0, 0
+				for a := 0; a < nAxes; a++ {
+					val = val*dims[a] + coords[a]
+					prevVal = prevVal*dims[a] + prev[a]
+				}
+				if val != prevVal+1 {
+					t.Fatalf("trial %d: enumeration not row-major at %d: %v after %v", trial, i, coords, prev)
+				}
+			}
+			copy(prev, coords)
+		}
+	}
+}
+
+// Out-of-range lookups panic rather than aliasing a wrong point.
+func TestGridBoundsPanics(t *testing.T) {
+	g, err := NewGrid(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"negative index":  func() { g.Coords(-1) },
+		"index past end":  func() { g.Coords(6) },
+		"coord too large": func() { g.Index([]int{1, 3}) },
+		"negative coord":  func() { g.Index([]int{-1, 0}) },
+		"axis mismatch":   func() { g.Index([]int{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

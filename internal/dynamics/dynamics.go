@@ -100,6 +100,11 @@ func NewChurn(sched *sim.Scheduler, rng *sim.RNG, rate float64, until sim.Time, 
 	return c
 }
 
+// Stop halts the generator: the pending toggle (if any) is cancelled and no
+// further events fire. StopTraffic uses this so a drain is not re-seeded by
+// churn whose window outlives the stop.
+func (c *Churn) Stop() { c.timer.Stop() }
+
 // gap draws the next exponential interarrival.
 func (c *Churn) gap() sim.Time {
 	g := sim.Seconds(c.rng.ExpFloat64() / c.rate)

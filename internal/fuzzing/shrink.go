@@ -1,0 +1,226 @@
+package fuzzing
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// errDigits normalizes numbers out of error text, so "session 9 outside
+// 1..2" and "session 8 outside 1..1" — the same bug class before and
+// after the shrinker renumbers indices — key identically.
+var errDigits = regexp.MustCompile(`[0-9]+`)
+
+// failureKey digests which way an outcome failed: the sorted set of
+// violated rules, or the digit-normalized error text for build failures
+// and panics. The shrinker only keeps candidates with the same key as the
+// original failure, so a repro never silently morphs into a different bug
+// class while being minimized.
+func failureKey(o Outcome) string {
+	if o.Err != "" {
+		return "error:" + errDigits.ReplaceAllString(o.Err, "#")
+	}
+	seen := map[string]bool{}
+	var rules []string
+	for _, v := range o.Violations {
+		if !seen[v.Rule] {
+			seen[v.Rule] = true
+			rules = append(rules, v.Rule)
+		}
+	}
+	sort.Strings(rules)
+	return strings.Join(rules, ",")
+}
+
+// DefaultShrinkBudget bounds how many candidate runs a shrink may spend.
+const DefaultShrinkBudget = 200
+
+// Shrink greedily minimizes a failing spec: it tries dropping timeline
+// events, receivers, cross traffic and whole sessions one element at a
+// time — and halving the duration — re-running each candidate and keeping
+// any that still fails. The result is the smallest spec the greedy walk
+// reaches within budget (0 = DefaultShrinkBudget), together with its
+// outcome; if the input spec does not actually fail it is returned as-is.
+//
+// Shrinking preserves validity: removing a receiver drops the events that
+// referenced it and renumbers the rest, and removing a session does the
+// same for session indices and the oracle.
+func Shrink(spec Spec, budget int) (Spec, Outcome) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	out := Run(spec, nil)
+	if !out.Failed() {
+		return spec, out
+	}
+	key := failureKey(out)
+	runs := 1
+	try := func(cand Spec) (Outcome, bool) {
+		if runs >= budget {
+			return Outcome{}, false
+		}
+		runs++
+		o := Run(cand, nil)
+		return o, o.Failed() && failureKey(o) == key
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		shrunk := false
+
+		// Drop events, last to first (later events depend on earlier ones
+		// more often than the reverse — an up after a down, a stop after an
+		// onset).
+		for i := len(spec.Events) - 1; i >= 0; i-- {
+			cand := clone(spec)
+			cand.Events = append(cand.Events[:i], cand.Events[i+1:]...)
+			if o, failed := try(cand); failed {
+				spec, out, shrunk = cand, o, true
+			}
+		}
+
+		// Drop receivers (attackers last, so the scenario keeps its shape
+		// for as long as possible).
+		for si := range spec.Sessions {
+			for ri := len(spec.Sessions[si].Receivers) - 1; ri >= 0; ri-- {
+				cand := removeReceiver(spec, si, ri)
+				if o, failed := try(cand); failed {
+					spec, out, shrunk = cand, o, true
+				}
+			}
+		}
+
+		// Drop cross traffic.
+		for spec.TCP > 0 {
+			cand := clone(spec)
+			cand.TCP--
+			o, failed := try(cand)
+			if !failed {
+				break
+			}
+			spec, out, shrunk = cand, o, true
+		}
+		if spec.CBRFraction > 0 {
+			cand := clone(spec)
+			cand.CBRFraction = 0
+			if o, failed := try(cand); failed {
+				spec, out, shrunk = cand, o, true
+			}
+		}
+
+		// Drop whole sessions.
+		for si := len(spec.Sessions) - 1; si >= 0 && len(spec.Sessions) > 1; si-- {
+			cand := removeSession(spec, si)
+			if o, failed := try(cand); failed {
+				spec, out, shrunk = cand, o, true
+			}
+		}
+
+		// Halve the duration (down to 2 s).
+		if spec.DurationSec > 4 {
+			cand := clone(spec)
+			cand.DurationSec = round3(cand.DurationSec / 2)
+			if o, failed := try(cand); failed {
+				spec, out, shrunk = cand, o, true
+			}
+		}
+
+		if !shrunk || runs >= budget {
+			break
+		}
+	}
+	return spec, out
+}
+
+// clone deep-copies a spec so candidate mutations never alias the original.
+func clone(sp Spec) Spec {
+	out := sp
+	out.Topology.CapacitiesBps = append([]int64(nil), sp.Topology.CapacitiesBps...)
+	out.Sessions = make([]SessionSpec, len(sp.Sessions))
+	for i, ss := range sp.Sessions {
+		out.Sessions[i].Receivers = append([]ReceiverSpec(nil), ss.Receivers...)
+	}
+	out.Events = append([]EventSpec(nil), sp.Events...)
+	if sp.Oracle != nil {
+		o := *sp.Oracle
+		out.Oracle = &o
+	}
+	return out
+}
+
+// eventReferencesReceiver reports whether ev names the given 1-based
+// session/receiver pair explicitly.
+func eventReferencesReceiver(ev EventSpec, session, receiver int) bool {
+	switch ev.Kind {
+	case EvJoin, EvLeave, EvOnset, EvStop:
+		return ev.Session == session && ev.Receiver == receiver
+	}
+	return false
+}
+
+// removeReceiver deletes receiver ri (0-based) from session si (0-based),
+// dropping events that referenced it and renumbering references to later
+// receivers of the same session. Broadcast events (Receiver 0) survive
+// unless the session loses its last matching population — onset/stop with
+// no attackers left, churn with no honest receivers left — in which case
+// they are dropped to keep the spec valid.
+func removeReceiver(sp Spec, si, ri int) Spec {
+	cand := clone(sp)
+	ss := &cand.Sessions[si]
+	ss.Receivers = append(ss.Receivers[:ri], ss.Receivers[ri+1:]...)
+	honest, attackers := populations(*ss)
+
+	var events []EventSpec
+	for _, ev := range cand.Events {
+		if eventReferencesReceiver(ev, si+1, ri+1) {
+			continue
+		}
+		if ev.Session == si+1 {
+			switch ev.Kind {
+			case EvJoin, EvLeave, EvOnset, EvStop:
+				if ev.Receiver > ri+1 {
+					ev.Receiver--
+				}
+				if ev.Receiver == 0 && (ev.Kind == EvOnset || ev.Kind == EvStop) && attackers == 0 {
+					continue // broadcast onset with nobody to inflate
+				}
+			case EvChurn:
+				if honest == 0 {
+					continue // churn needs well-behaved receivers
+				}
+			}
+		}
+		events = append(events, ev)
+	}
+	cand.Events = events
+	if cand.Oracle != nil && cand.Oracle.Session == si+1 && (honest == 0 || attackers == 0) {
+		cand.Oracle = nil
+	}
+	return cand
+}
+
+// removeSession deletes session si (0-based), dropping its events and the
+// oracle if it pointed there, and renumbering references to later sessions.
+func removeSession(sp Spec, si int) Spec {
+	cand := clone(sp)
+	cand.Sessions = append(cand.Sessions[:si], cand.Sessions[si+1:]...)
+	var events []EventSpec
+	for _, ev := range cand.Events {
+		if ev.Session == si+1 {
+			continue
+		}
+		if ev.Session > si+1 {
+			ev.Session--
+		}
+		events = append(events, ev)
+	}
+	cand.Events = events
+	if cand.Oracle != nil {
+		switch {
+		case cand.Oracle.Session == si+1:
+			cand.Oracle = nil
+		case cand.Oracle.Session > si+1:
+			cand.Oracle.Session--
+		}
+	}
+	return cand
+}

@@ -31,6 +31,12 @@ func (g *IGMP) Deliver(group, host packet.Addr) bool {
 	return g.members[group][host]
 }
 
+// Entitled implements EntitlementReader: for plain IGMP the read-only view
+// coincides with Deliver.
+func (g *IGMP) Entitled(group, host packet.Addr) bool {
+	return g.members[group][host]
+}
+
 // Members reports the current member count of a group (test observability).
 func (g *IGMP) Members(group packet.Addr) int { return len(g.members[group]) }
 

@@ -105,10 +105,23 @@ type Link struct {
 	capBits    float64
 	lastAccrue sim.Time
 
+	// Arrived counts every packet handed to Send, whatever its fate —
+	// the left-hand side of the link conservation law the invariant layer
+	// audits: Arrived == Delivered + Queue.Dropped + DroppedDown +
+	// Queue.Len() + InFlight() + Serializing().
+	Arrived uint64
 	// Delivered counts packets handed to dst.
 	Delivered uint64
 	// SentBytes counts bytes that completed serialization.
 	SentBytes uint64
+	// MaxPacketBytes is the largest packet that entered serialization; the
+	// utilization invariant allows this much slack per rate change.
+	MaxPacketBytes int
+	// RateChanges counts SetRate calls. Each downward re-rate can let the
+	// packet serializing at that moment finish on the old (faster) timing,
+	// so the capacity-integral bound on SentBytes carries one packet of
+	// slack per change.
+	RateChanges uint64
 	// DroppedDown counts packets discarded because the link was down:
 	// arrivals while down plus queued and in-flight packets flushed by the
 	// Down transition itself.
@@ -144,6 +157,7 @@ func (l *Link) txTime(size int) sim.Time {
 // Send enqueues pkt for transmission, taking ownership of one reference;
 // a drop-tail drop — or a down link — releases it.
 func (l *Link) Send(pkt *packet.Packet) {
+	l.Arrived++
 	if l.down {
 		l.DroppedDown++
 		pkt.Release()
@@ -165,6 +179,9 @@ func (l *Link) startTransmission() {
 	}
 	l.busy = true
 	l.cur = pkt
+	if pkt.Size > l.MaxPacketBytes {
+		l.MaxPacketBytes = pkt.Size
+	}
 	l.txTimer.Reset(l.txTime(pkt.Size))
 }
 
@@ -245,6 +262,7 @@ func (l *Link) SetRate(rate int64) {
 	}
 	l.accrue()
 	l.Rate = rate
+	l.RateChanges++
 }
 
 // SetDelay changes the propagation delay for packets entering propagation
@@ -257,6 +275,13 @@ func (l *Link) SetDelay(d sim.Time) {
 	}
 	l.Delay = d
 }
+
+// InFlight reports how many packets are in propagation (serialization
+// finished, delivery pending) — an audit observability hook.
+func (l *Link) InFlight() int { return l.flights.len() }
+
+// Serializing reports whether a packet is currently being serialized.
+func (l *Link) Serializing() bool { return l.cur != nil }
 
 // IsDown reports whether the link is administratively down.
 func (l *Link) IsDown() bool { return l.down }

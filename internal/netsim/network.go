@@ -146,6 +146,17 @@ func (n *Network) registerLink(l *Link) {
 // OutLinks returns the outgoing links of a node.
 func (n *Network) OutLinks(id NodeID) []*Link { return n.out[id] }
 
+// Links returns every directed link in deterministic order (nodes by ID,
+// each node's out-links in registration order) — the audit layer iterates
+// this, and violation order must not depend on map iteration.
+func (n *Network) Links() []*Link {
+	var all []*Link
+	for id := range n.nodes {
+		all = append(all, n.out[NodeID(id)]...)
+	}
+	return all
+}
+
 // LinkBetween returns the directed link from a to b, or nil.
 func (n *Network) LinkBetween(a, b NodeID) *Link {
 	return n.linkTo[a][b]

@@ -415,6 +415,29 @@ func (c *Controller) Deliver(group, host packet.Addr) bool {
 	return g.slots[c.CurrentSlot()]
 }
 
+// Entitled implements mcast.EntitlementReader: the same decision Deliver
+// would make right now, but side-effect-free — a pending grace window is
+// reported as entitlement without being armed, so the audit layer can poll
+// mid-run without perturbing grace accounting.
+func (c *Controller) Entitled(group, host packet.Addr) bool {
+	ifc := c.ifaces[host]
+	if ifc == nil {
+		return false
+	}
+	g := ifc.grants[group]
+	if g == nil {
+		return false
+	}
+	now := c.sched.Now()
+	if now < g.penaltyUntil {
+		return false
+	}
+	if g.pendingGrace || now < g.graceUntil {
+		return true
+	}
+	return g.slots[c.CurrentSlot()]
+}
+
 // GuessCount reports how many distinct invalid keys host has submitted for
 // group — the §4.2 guessing-attack tally.
 func (c *Controller) GuessCount(group, host packet.Addr) int {

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomSlice draws n values from a mix of scales so the properties are
+// exercised on clustered, spread and duplicate-heavy data alike.
+func randomSlice(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch rng.IntN(3) {
+		case 0:
+			xs[i] = rng.Float64() * 10
+		case 1:
+			xs[i] = rng.Float64() * 1e6
+		default:
+			xs[i] = float64(rng.IntN(5)) // duplicates
+		}
+	}
+	return xs
+}
+
+// Quantiles are monotone in p: p10 ≤ p50 ≤ p90, and the extremes bracket
+// everything.
+func TestQuantileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		xs := randomSlice(rng, 1+rng.IntN(40))
+		p10 := Percentile(xs, 0.10)
+		p50 := Percentile(xs, 0.50)
+		p90 := Percentile(xs, 0.90)
+		if !(p10 <= p50 && p50 <= p90) {
+			t.Fatalf("trial %d: quantiles not monotone: p10=%g p50=%g p90=%g over %v", trial, p10, p50, p90, xs)
+		}
+		lo, hi := Percentile(xs, 0), Percentile(xs, 1)
+		for _, x := range xs {
+			if x < lo || x > hi {
+				t.Fatalf("trial %d: extreme quantiles [%g,%g] do not bracket %g", trial, lo, hi, x)
+			}
+		}
+		if p10 < lo || p90 > hi {
+			t.Fatalf("trial %d: p10/p90 outside [min,max]", trial)
+		}
+	}
+}
+
+// The mean lies within [min, max] of its sample.
+func TestMeanWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		xs := randomSlice(rng, 1+rng.IntN(40))
+		m := Mean(xs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		// One ulp-scale epsilon: summation error must not fail the property.
+		eps := 1e-9 * math.Max(math.Abs(lo), math.Abs(hi))
+		if m < lo-eps || m > hi+eps {
+			t.Fatalf("trial %d: mean %g outside [%g,%g]", trial, m, lo, hi)
+		}
+	}
+}
+
+// Mean, quantiles and Jain are permutation-invariant: order of observation
+// never changes a statistic.
+func TestStatisticsStableUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 100; trial++ {
+		xs := randomSlice(rng, 2+rng.IntN(30))
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+			if a, b := Percentile(xs, p), Percentile(shuffled, p); a != b {
+				t.Fatalf("trial %d: P%.0f changed under permutation: %g vs %g", trial, p*100, a, b)
+			}
+		}
+		if a, b := Jain(xs), Jain(shuffled); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("trial %d: Jain changed under permutation: %g vs %g", trial, a, b)
+		}
+		if a, b := Mean(xs), Mean(shuffled); math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+			t.Fatalf("trial %d: mean changed under permutation: %g vs %g", trial, a, b)
+		}
+	}
+}
+
+// Percentile must not modify its input; PercentileSorted must agree with
+// Percentile on sorted data.
+func TestPercentileLeavesInputAlone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	xs := randomSlice(rng, 20)
+	before := append([]float64(nil), xs...)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		Percentile(xs, p)
+	}
+	for i := range xs {
+		if xs[i] != before[i] {
+			t.Fatalf("Percentile reordered its input at %d", i)
+		}
+	}
+}
+
+// Degenerate inputs are defined, not panics.
+func TestDegenerateInputs(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 || Mean(nil) != 0 || Jain(nil) != 0 {
+		t.Fatal("empty inputs must yield zero")
+	}
+	one := []float64{42}
+	for _, p := range []float64{0, 0.3, 1} {
+		if got := Percentile(one, p); got != 42 {
+			t.Fatalf("P%g of a singleton = %g, want 42", p, got)
+		}
+	}
+	if Mean(one) != 42 {
+		t.Fatal("mean of singleton")
+	}
+}

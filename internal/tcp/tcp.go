@@ -66,6 +66,7 @@ type Sender struct {
 
 	rtoTimer *sim.Timer
 	started  bool
+	stopped  bool
 
 	// Stats.
 	SegmentsSent    uint64
@@ -88,11 +89,20 @@ func NewSender(host *netsim.Host, dst packet.Addr, flow uint32, cfg Config) *Sen
 
 // Start begins transmitting at the scheduler's current time.
 func (s *Sender) Start() {
-	if s.started {
+	if s.started || s.stopped {
 		return
 	}
 	s.started = true
 	s.trySend()
+}
+
+// Stop halts the connection: no further segments are transmitted (acks for
+// segments already in flight still update state) and the retransmission
+// timer is cancelled, so a stopped sender lets the network drain instead of
+// retransmitting forever. Permanent — a stopped connection cannot restart.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.rtoTimer.Stop()
 }
 
 // Cwnd reports the current congestion window in segments.
@@ -115,6 +125,9 @@ func (s *Sender) sched() *sim.Scheduler { return s.host.Scheduler() }
 // trySend transmits segments from the send pointer while the window allows;
 // after a rewind these are retransmissions of the lost middle of the window.
 func (s *Sender) trySend() {
+	if s.stopped {
+		return
+	}
 	for float64(s.flight()) < s.window() {
 		s.transmit(s.sndNxt)
 		s.sndNxt++
@@ -122,6 +135,9 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) transmit(seq uint32) {
+	if s.stopped {
+		return
+	}
 	hdr := &packet.TCPHeader{Flow: s.flow, Seq: seq, Len: uint32(s.cfg.SegmentSize)}
 	pkt := s.host.Network().NewPacket(s.host.Addr(), s.dst, s.cfg.SegmentSize, hdr)
 	s.host.Send(pkt)
@@ -148,6 +164,9 @@ func (s *Sender) transmit(seq uint32) {
 // armRTO (re)schedules the retransmission timeout in place: one timer and
 // one recycled event serve the connection's whole lifetime.
 func (s *Sender) armRTO() {
+	if s.stopped {
+		return
+	}
 	d := s.rto << uint(s.backoff)
 	if max := 60 * sim.Second; d > max {
 		d = max
@@ -156,7 +175,7 @@ func (s *Sender) armRTO() {
 }
 
 func (s *Sender) onTimeout() {
-	if s.flight() == 0 {
+	if s.flight() == 0 || s.stopped {
 		return
 	}
 	s.Timeouts++

@@ -19,6 +19,7 @@ type settings struct {
 	ecnFrac  float64
 	pool     *packet.Pool
 	events   []TimelineEvent
+	audit    auditSettings
 	err      error
 }
 

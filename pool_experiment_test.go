@@ -18,24 +18,15 @@ func TestExperimentPoolBalancedAfterDrain(t *testing.T) {
 			deltasigma.WithSeed(5),
 			deltasigma.WithPacketPool(pool),
 		)
-		sess := exp.AddSession(2)
+		exp.AddSession(2)
 		exp.Advance(3 * deltasigma.Second)
 		if pool.Issued == 0 {
 			t.Fatalf("%s: experiment issued no pooled packets", proto)
 		}
 
-		// Stop all traffic sources and receivers, then drain: packets still
-		// queued, in flight or awaiting retransmission all terminate within
-		// a couple of slots.
-		sess.Sender.Stop()
-		for _, r := range sess.Receivers {
-			r.Stop()
-		}
-		exp.Advance(8 * deltasigma.Second)
-
-		if out := pool.Outstanding(); out != 0 {
-			t.Errorf("%s: pool Outstanding = %d after drain, want 0 (leak)", proto, out)
-		}
+		// The shared helper stops all traffic, drains, and asserts pool
+		// balance plus the per-link conservation laws.
+		drainAndVerify(t, exp)
 	}
 }
 
@@ -50,13 +41,9 @@ func TestPoolReuseAcrossExperiments(t *testing.T) {
 			deltasigma.WithSeed(seed),
 			deltasigma.WithPacketPool(pool),
 		)
-		s := exp.AddSession(1)
+		exp.AddSession(1)
 		exp.Advance(2 * deltasigma.Second)
-		s.Sender.Stop()
-		for _, r := range s.Receivers {
-			r.Stop()
-		}
-		exp.Advance(6 * deltasigma.Second)
+		drainAndVerify(t, exp)
 	}
 	run(1)
 	fresh := pool.Fresh

@@ -39,14 +39,10 @@ func TestTimelineLeaveWhileInFlightDrainsPool(t *testing.T) {
 			t.Errorf("%s: surviving receiver starved by the churn", proto)
 		}
 
-		sess.Sender.Stop()
-		for _, r := range sess.Receivers {
-			r.Stop()
+		if pool.Issued == 0 {
+			t.Fatalf("%s: experiment issued no pooled packets", proto)
 		}
-		exp.Advance(12 * deltasigma.Second)
-		if out := pool.Outstanding(); out != 0 {
-			t.Errorf("%s: pool Outstanding = %d after churn and drain, want 0 (leak)", proto, out)
-		}
+		drainAndVerify(t, exp)
 	}
 }
 
@@ -175,14 +171,10 @@ func TestTimelineLinkOutage(t *testing.T) {
 		t.Errorf("no recovery after outage: %.0f Kbps during vs %.0f Kbps after", during, after)
 	}
 
-	sess.Sender.Stop()
-	for _, r := range sess.Receivers {
-		r.Stop()
+	if pool.Issued == 0 {
+		t.Fatal("experiment issued no pooled packets")
 	}
-	exp.Advance(18 * deltasigma.Second)
-	if out := pool.Outstanding(); out != 0 {
-		t.Errorf("pool Outstanding = %d after outage and drain, want 0", out)
-	}
+	drainAndVerify(t, exp)
 }
 
 // Poisson churn toggles membership, draws only seeded randomness, and

@@ -30,6 +30,11 @@ func (f *TCPFlow) Label() string { return f.label }
 // Cwnd reports the sender's current congestion window in packets.
 func (f *TCPFlow) Cwnd() float64 { return f.snd.Cwnd() }
 
+// Stop halts the flow permanently: no further segments or retransmissions
+// are sent, and in-flight traffic drains normally. Safe mid-run —
+// StopTraffic calls this on every flow.
+func (f *TCPFlow) Stop() { f.snd.Stop() }
+
 func (f *TCPFlow) schedule(sched *sim.Scheduler) {
 	sched.At(f.startAt, f.snd.Start)
 }
