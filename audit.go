@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"deltasigma/internal/invariant"
+	"deltasigma/internal/mcast"
 	"deltasigma/internal/packet"
 	"deltasigma/internal/sim"
 	"deltasigma/internal/stats"
@@ -151,7 +152,11 @@ func (a *Audit) Check() {
 	for _, l := range e.Topo.Network().Links() {
 		a.aud.CheckLink(now, l)
 	}
-	a.aud.CheckGraftConsistency(now, e.Topo.Multicast(), e.Topo.Edges(), e.groups())
+	edges := e.Topo.Edges()
+	if ce := e.cohortEdges(); len(ce) > 0 {
+		edges = append(append([]*mcast.Router(nil), edges...), ce...)
+	}
+	a.aud.CheckGraftConsistency(now, e.Topo.Multicast(), edges, e.groups())
 	for _, s := range e.sessions {
 		n := s.Sess.Rates.N
 		for _, r := range s.Receivers {
@@ -159,6 +164,18 @@ func (a *Audit) Check() {
 				a.aud.Reportf(invariant.RuleLevelBounds, r.Label(), now,
 					float64(lvl), float64(n),
 					"subscription level %d outside 0..%d", lvl, n)
+			}
+		}
+		for _, c := range s.Cohorts {
+			if lvl := c.Level(); lvl < 0 || lvl > n {
+				a.aud.Reportf(invariant.RuleLevelBounds, c.Label(), now,
+					float64(lvl), float64(n),
+					"subscription level %d outside 0..%d", lvl, n)
+			}
+			if got := c.Agent().Accounted(); got != c.Members() {
+				a.aud.Reportf(invariant.RuleCohortConservation, c.Label(), now,
+					float64(got), float64(c.Members()),
+					"online+offline members %d != configured %d", got, c.Members())
 			}
 		}
 	}
@@ -210,6 +227,12 @@ func (a *Audit) checkOracle(o SuppressionOracle, until Time) {
 				honest = append(honest, r.Meter().AvgKbps(o.From, until))
 			}
 		}
+		for _, c := range s.Cohorts {
+			// A cohort is a population of honest receivers; its per-member
+			// average is one honest sample (the members are homogeneous, so
+			// one sample is the population's share).
+			honest = append(honest, c.Meter().AvgKbps(o.From, until)/float64(c.Members()))
+		}
 		if len(attackers) == 0 || len(honest) == 0 {
 			continue // the oracle needs both populations to compare
 		}
@@ -257,6 +280,9 @@ func (e *Experiment) StopTraffic() {
 				r.Deflate()
 			}
 			r.Stop()
+		}
+		for _, c := range s.Cohorts {
+			c.Stop()
 		}
 	}
 	for _, f := range e.tcps {

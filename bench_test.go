@@ -87,6 +87,26 @@ func BenchmarkProtectedSessionSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkCohort1M measures the cohort fluid model at headline scale: one
+// million receivers aggregated into a single cohort, one simulated second
+// per iteration, under hierarchical feedback consolidation. Per-slot cost
+// is O(groups + buckets), so this should run within a small constant of
+// BenchmarkProtectedSessionSecond despite a 10^6× larger population.
+func BenchmarkCohort1M(b *testing.B) {
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(500_000),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSeed(9),
+	)
+	exp.AddSession(0).AddCohort(1_000_000)
+	exp.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Advance(deltasigma.Time(i+1) * deltasigma.Second)
+	}
+}
+
 // benchSweep is the campaign grid the sweep benchmarks share: 2 protocols
 // × 2 receiver counts × 2 attacker counts = 8 independent points.
 func benchSweep() deltasigma.Sweep {

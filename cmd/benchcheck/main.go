@@ -1,14 +1,20 @@
 // Command benchcheck is the CI benchmark-regression gate: it parses `go
-// test -bench` output and fails when a benchmark's allocs/op regresses
-// beyond a tolerance against the recorded baseline (BENCH_pr3.json).
+// test -bench` output and fails when a headline benchmark drifts from the
+// recorded baseline (BENCH_pr6.json) on either tracked metric:
 //
-// Allocation counts — unlike ns/op — are deterministic for a fixed
-// -benchtime iteration count, so they gate reliably on shared CI runners
-// where timing noise would make a ns/op gate flap. ns/op and B/op are
-// still reported for context, but only allocs/op can fail the build.
+//   - allocs/op, tolerance -tolerance (default 5%): allocation counts are
+//     deterministic for a fixed -benchtime iteration count, so the worst
+//     observed sample gates exactly.
 //
-//	go test -run=NoTests -bench='Fig01|Fig07' -benchtime=3x -benchmem . | tee bench.txt
-//	go run ./cmd/benchcheck -baseline BENCH_pr3.json -bench bench.txt
+//   - ns/op, band -ns-tolerance (default ±15%): wall time is noisy on
+//     shared runners, so the gate takes the MEDIAN across repetitions
+//     (run with -count=3) and allows a generous band. A median outside the
+//     band in either direction fails: slower is a regression, and more
+//     than 15% faster means the baseline is stale and must be re-recorded
+//     deliberately. Set -ns-tolerance to a negative value to disable.
+//
+//     go test -run=NoTests -bench='Fig01|Fig07|Cohort1M' -benchtime=3x -count=3 -benchmem . | tee bench.txt
+//     go run ./cmd/benchcheck -baseline BENCH_pr6.json -bench bench.txt
 //
 // Every benchmark named in the baseline's "headline" section must appear
 // in the bench output; a missing headline benchmark fails the gate (a
@@ -22,11 +28,12 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// baseline mirrors the parts of BENCH_pr3.json the gate reads.
+// baseline mirrors the parts of BENCH_pr6.json the gate reads.
 type baseline struct {
 	PR       int                      `json:"pr"`
 	Headline map[string]headlineEntry `json:"headline"`
@@ -47,16 +54,17 @@ type metrics struct {
 //	BenchmarkFig01InflatedSubscription-4  3  103294204 ns/op  7157898 B/op  177771 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
-// parseBench extracts per-benchmark metrics from -bench output. When a
-// benchmark appears more than once (several packages, -count>1) the worst
-// allocs/op wins — a gate must not pass on the luckiest sample.
-func parseBench(path string) (map[string]metrics, error) {
+// parseBench extracts every per-benchmark sample from -bench output, in
+// file order. Repetitions (-count>1, several packages) each contribute one
+// sample; the gates reduce them per metric — worst for allocs/op, median
+// for ns/op — so a gate never passes on the luckiest sample.
+func parseBench(path string) (map[string][]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]metrics)
+	out := make(map[string][]metrics)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
@@ -66,18 +74,38 @@ func parseBench(path string) (map[string]metrics, error) {
 		ns, _ := strconv.ParseFloat(m[2], 64)
 		b, _ := strconv.ParseFloat(m[3], 64)
 		allocs, _ := strconv.ParseFloat(m[4], 64)
-		got := metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
-		if prev, ok := out[m[1]]; !ok || got.AllocsOp > prev.AllocsOp {
-			out[m[1]] = got
-		}
+		out[m[1]] = append(out[m[1]], metrics{NsOp: ns, BOp: b, AllocsOp: allocs})
 	}
 	return out, sc.Err()
 }
 
+// worstAllocs returns the highest allocs/op across samples.
+func worstAllocs(samples []metrics) float64 {
+	worst := samples[0].AllocsOp
+	for _, s := range samples[1:] {
+		if s.AllocsOp > worst {
+			worst = s.AllocsOp
+		}
+	}
+	return worst
+}
+
+// medianNs returns the median ns/op across samples (lower middle for even
+// counts, so a 2-sample run gates on the faster, less noisy one).
+func medianNs(samples []metrics) float64 {
+	ns := make([]float64, len(samples))
+	for i, s := range samples {
+		ns[i] = s.NsOp
+	}
+	sort.Float64s(ns)
+	return ns[(len(ns)-1)/2]
+}
+
 func run() error {
-	basePath := flag.String("baseline", "BENCH_pr3.json", "baseline JSON with a headline section")
+	basePath := flag.String("baseline", "BENCH_pr6.json", "baseline JSON with a headline section")
 	benchPath := flag.String("bench", "bench.txt", "captured `go test -bench -benchmem` output")
 	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional allocs/op regression over the baseline")
+	nsTolerance := flag.Float64("ns-tolerance", 0.15, "allowed fractional ns/op drift around the baseline (median across reps, both directions); negative disables")
 	flag.Parse()
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance %v is negative", *tolerance)
@@ -100,26 +128,51 @@ func run() error {
 	}
 
 	failed := false
-	for name, entry := range base.Headline {
-		want := entry.After.AllocsOp
-		limit := want * (1 + *tolerance)
-		cur, ok := got[name]
-		if !ok {
+	names := make([]string, 0, len(base.Headline))
+	for name := range base.Headline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Headline[name].After
+		samples, ok := got[name]
+		if !ok || len(samples) == 0 {
 			fmt.Printf("FAIL %s: missing from %s (headline benchmarks must run)\n", name, *benchPath)
 			failed = true
 			continue
 		}
-		delta := 100 * (cur.AllocsOp - want) / want
+
+		allocs := worstAllocs(samples)
+		allocsLimit := want.AllocsOp * (1 + *tolerance)
+		allocsDelta := 100 * (allocs - want.AllocsOp) / want.AllocsOp
 		status := "ok  "
-		if cur.AllocsOp > limit {
+		if allocs > allocsLimit {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%) | %.0f ns/op, %.0f B/op\n",
-			status, name, cur.AllocsOp, want, delta, 100**tolerance, cur.NsOp, cur.BOp)
+		fmt.Printf("%s %s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
+			status, name, allocs, want.AllocsOp, allocsDelta, 100**tolerance)
+
+		if *nsTolerance >= 0 && want.NsOp > 0 {
+			ns := medianNs(samples)
+			nsDelta := 100 * (ns - want.NsOp) / want.NsOp
+			status = "ok  "
+			switch {
+			case ns > want.NsOp*(1+*nsTolerance):
+				status = "FAIL"
+				failed = true
+			case ns < want.NsOp*(1-*nsTolerance):
+				// Outside the band on the fast side: the baseline no longer
+				// describes the code and must be re-recorded deliberately.
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s: median %.0f ns/op over %d reps vs baseline %.0f (%+.1f%%, band ±%.0f%%)\n",
+				status, name, ns, len(samples), want.NsOp, nsDelta, 100**nsTolerance)
+		}
 	}
 	if failed {
-		return fmt.Errorf("allocation regression against %s (PR %d baseline)", *basePath, base.PR)
+		return fmt.Errorf("benchmark regression against %s (PR %d baseline)", *basePath, base.PR)
 	}
 	return nil
 }

@@ -32,15 +32,18 @@ ok  	deltasigma	2.1s
 	if len(got) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
 	}
-	if got["BenchmarkFig01InflatedSubscription"].AllocsOp != 177771 {
+	if n := len(got["BenchmarkFig07Protection"]); n != 2 {
+		t.Fatalf("Fig07 should keep both samples, got %d", n)
+	}
+	if got["BenchmarkFig01InflatedSubscription"][0].AllocsOp != 177771 {
 		t.Fatalf("Fig01 allocs = %v", got["BenchmarkFig01InflatedSubscription"])
 	}
-	// Duplicate entries keep the worst allocs/op.
-	if got["BenchmarkFig07Protection"].AllocsOp != 200000 {
-		t.Fatalf("Fig07 should keep the worst sample, got %v", got["BenchmarkFig07Protection"])
+	// The allocation gate reduces repeated samples to the worst one.
+	if w := worstAllocs(got["BenchmarkFig07Protection"]); w != 200000 {
+		t.Fatalf("worstAllocs = %v, want the worst sample 200000", w)
 	}
-	if got["BenchmarkFig01InflatedSubscription"].NsOp != 103294204 {
-		t.Fatalf("Fig01 ns/op = %v", got["BenchmarkFig01InflatedSubscription"].NsOp)
+	if got["BenchmarkFig01InflatedSubscription"][0].NsOp != 103294204 {
+		t.Fatalf("Fig01 ns/op = %v", got["BenchmarkFig01InflatedSubscription"][0].NsOp)
 	}
 }
 
@@ -56,10 +59,31 @@ func TestParseBenchLineWithoutBenchmem(t *testing.T) {
 	}
 }
 
-// The real repository baseline must parse and carry headline entries —
-// the gate's own config cannot silently rot.
+func TestMedianNs(t *testing.T) {
+	mk := func(ns ...float64) []metrics {
+		out := make([]metrics, len(ns))
+		for i, v := range ns {
+			out[i].NsOp = v
+		}
+		return out
+	}
+	// Odd count: the middle sample; the outlier rep does not move the gate.
+	if m := medianNs(mk(100, 900, 120)); m != 120 {
+		t.Fatalf("median of 3 = %v, want 120", m)
+	}
+	// Even count: the lower middle (less noise-prone).
+	if m := medianNs(mk(100, 200)); m != 100 {
+		t.Fatalf("median of 2 = %v, want 100", m)
+	}
+	if m := medianNs(mk(500)); m != 500 {
+		t.Fatalf("median of 1 = %v, want 500", m)
+	}
+}
+
+// The real repository baseline must parse and carry headline entries with
+// both gated metrics — the gate's own config cannot silently rot.
 func TestRepositoryBaselineIsGateable(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr3.json"))
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr6.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +91,18 @@ func TestRepositoryBaselineIsGateable(t *testing.T) {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		t.Fatal(err)
 	}
-	if len(base.Headline) < 2 {
-		t.Fatalf("baseline headline has %d entries, want >= 2", len(base.Headline))
+	if len(base.Headline) < 3 {
+		t.Fatalf("baseline headline has %d entries, want >= 3", len(base.Headline))
+	}
+	if _, ok := base.Headline["BenchmarkCohort1M"]; !ok {
+		t.Fatal("baseline does not track BenchmarkCohort1M")
 	}
 	for name, e := range base.Headline {
 		if e.After.AllocsOp <= 0 {
 			t.Fatalf("headline %s has no after.allocs_op", name)
+		}
+		if e.After.NsOp <= 0 {
+			t.Fatalf("headline %s has no after.ns_op", name)
 		}
 	}
 }

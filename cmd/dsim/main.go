@@ -11,6 +11,7 @@
 //	go run ./cmd/dsim -protocol flid-ds -topology chain -capacity 500000,250000 -tcp 1 -dur 60
 //	go run ./cmd/dsim -protocol flid-ds -sessions 2 -churn 0.5 -flap 20 -dur 120
 //	go run ./cmd/dsim -protocol flid-ds-threshold -topology star -capacity 250000,500000 -sessions 1 -json
+//	go run ./cmd/dsim -protocol flid-ds -sessions 1 -cohort 1000000 -dur 60
 //	go run ./cmd/dsim -list
 //
 // Mid-run dynamics — attacker onset and stop, Poisson membership churn,
@@ -27,6 +28,8 @@
 //	go run ./cmd/dsim sweep -protocols flid-dl,flid-ds -receivers 1,4,16,64 -attackers 0,1,2 -dur 30
 //	go run ./cmd/dsim sweep -protocols flid-ds -churns 0,0.5,2 -flaps 0,10 -dur 60
 //	go run ./cmd/dsim sweep -attackers 1 -attackats 5,15,25 -dur 30
+//	go run ./cmd/dsim sweep -protocols flid-ds -cohorts 10000,100000,1000000 -receivers 0 -dur 30
+//	go run ./cmd/dsim sweep -campaign million -scale 0.5 -json
 //	go run ./cmd/dsim sweep -campaign attacker-fraction -scale 0.5 -json
 //	go run ./cmd/dsim sweep -campaign churn -workers 4 -csv
 //	go run ./cmd/dsim sweep -list
@@ -79,6 +82,7 @@ func run(args []string, out io.Writer) error {
 	topology := fs.String("topology", "dumbbell", "topology: dumbbell, chain or star")
 	capacity := fs.String("capacity", "", "comma-separated bottleneck bits/s, one per link (default 250k per session)")
 	sessions := fs.Int("sessions", 2, "number of multicast sessions (one receiver each)")
+	cohort := fs.Int("cohort", 0, "aggregated well-behaved members added to each session as one fluid cohort (0 = none)")
 	groups := fs.Int("groups", 0, "groups per session (0 = the paper's 10; flid-ds-replicated wants ~6)")
 	attackAt := fs.Float64("attack", 0, "seconds until session 1's receiver inflates (0 = no attack)")
 	attackStop := fs.Float64("attackstop", 0, "seconds until the attacker deflates again (0 = attack runs to the end; needs -attack)")
@@ -144,6 +148,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *cohort < 0 {
+		return fmt.Errorf("-cohort must be non-negative, got %d", *cohort)
+	}
+	if *cohort > 0 {
+		if _, ok := exp.Protocol.(deltasigma.ReplicatedProtocol); ok {
+			return fmt.Errorf("-cohort is not supported by the replicated variant %q (no per-group stream for the fluid model to observe)", *protocol)
+		}
+	}
 
 	if *attackAt > 0 && *attackAt >= *dur {
 		return fmt.Errorf("-attack %gs must be inside -dur %gs", *attackAt, *dur)
@@ -173,6 +185,9 @@ func run(args []string, out io.Writer) error {
 		} else {
 			receivers = append(receivers, s.AddReceiver())
 		}
+		if *cohort > 0 {
+			s.AddCohort(*cohort)
+		}
 	}
 	for i := 0; i < *nTCP; i++ {
 		exp.AddTCP(deltasigma.Time(i) * 100 * deltasigma.Millisecond)
@@ -191,8 +206,8 @@ func run(args []string, out io.Writer) error {
 	}
 	if *churn > 0 {
 		for i := 1; i <= *sessions; i++ {
-			if i == 1 && *attackAt > 0 {
-				continue // session 1's only receiver is the attacker
+			if i == 1 && *attackAt > 0 && *cohort == 0 {
+				continue // session 1's only well-behaved member is the attacker
 			}
 			events = append(events, deltasigma.PoissonChurn{Session: i, Rate: *churn, To: end})
 		}
@@ -221,6 +236,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "t=%4.0fs", t.Sec())
 		for _, r := range receivers {
 			fmt.Fprintf(out, "  %s: %3.0fKbps (lvl %d)", r.Label(), r.Meter().AvgKbps(t-step, t), r.Level())
+		}
+		for _, c := range exp.Cohorts() {
+			fmt.Fprintf(out, "  %s: %3.0fKbps/member (lvl %d, %d online)",
+				c.Label(), c.Meter().AvgKbps(t-step, t)/float64(c.Members()), c.Level(), c.Online())
 		}
 		fmt.Fprintln(out)
 	}

@@ -32,6 +32,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"attackstop before attack", []string{"-attack", "40", "-attackstop", "30", "-dur", "60"}, "must come after"},
 		{"attackstop past end", []string{"-attack", "10", "-attackstop", "80", "-dur", "60"}, "inside -dur"},
 		{"flap past end", []string{"-flap", "90", "-dur", "60"}, "inside -dur"},
+		{"negative cohort", []string{"-cohort", "-3"}, "-cohort"},
+		{"cohort on replicated", []string{"-cohort", "10", "-protocol", "flid-ds-replicated"}, "replicated"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -106,9 +108,12 @@ func TestSweepFlagValidation(t *testing.T) {
 		{"bad topology token", []string{"-topologies", "ring"}, "unknown topology"},
 		{"bad chain count", []string{"-topologies", "chainx"}, "bad topology"},
 		{"bad receivers", []string{"-receivers", "two"}, "-receivers"},
+		{"bad cohorts", []string{"-cohorts", "many"}, "-cohorts"},
+		{"negative cohorts", []string{"-cohorts", "-5", "-dur", "1"}, "negative"},
 		{"bad seeds", []string{"-seeds", "x"}, "-seeds"},
 		{"unknown campaign", []string{"-campaign", "nope"}, "unknown campaign"},
 		{"campaign axis conflict", []string{"-campaign", "churn", "-receivers", "4"}, "no effect with -campaign"},
+		{"campaign cohorts conflict", []string{"-campaign", "million", "-cohorts", "10"}, "no effect with -campaign"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,6 +123,35 @@ func TestSweepFlagValidation(t *testing.T) {
 				t.Fatalf("runSweep(%v) error = %v, want substring %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// -cohort threads through both output modes: the JSON Result carries a
+// cohorts section with the aggregated population, and the progress table
+// prints a per-member line alongside the exact receivers.
+func TestRunCohortOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sessions", "1", "-cohort", "50000", "-dur", "2", "-json", "-protocol", "flid-dl"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res deltasigma.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, buf.String())
+	}
+	if len(res.Cohorts) != 1 || res.Cohorts[0].Members != 50000 {
+		t.Fatalf("cohorts = %+v, want one with 50000 members", res.Cohorts)
+	}
+	if res.Cohorts[0].AvgKbps <= 0 || res.Cohorts[0].PerMemberKbps <= 0 {
+		t.Errorf("cohort delivered nothing: %+v", res.Cohorts[0])
+	}
+
+	buf.Reset()
+	if err := run([]string{"-sessions", "1", "-cohort", "100", "-dur", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S1C1") || !strings.Contains(buf.String(), "online") {
+		t.Errorf("progress table missing the cohort line:\n%s", buf.String())
 	}
 }
 
@@ -173,7 +207,7 @@ func TestSweepCSVShape(t *testing.T) {
 		t.Fatalf("rows = %d, want header + 2 points", len(rows))
 	}
 	header := rows[0]
-	for i, want := range []string{"protocol", "topology", "receivers", "attackers", "bottleneck_bps"} {
+	for i, want := range []string{"protocol", "topology", "receivers", "attackers", "cohort", "bottleneck_bps"} {
 		if header[i] != want {
 			t.Errorf("header[%d] = %q, want %q", i, header[i], want)
 		}

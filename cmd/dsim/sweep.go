@@ -23,6 +23,7 @@ func runSweep(args []string, out io.Writer) error {
 	topologies := fs.String("topologies", "dumbbell", "comma-separated topology axis: dumbbell, chain<N> or star<N>")
 	receivers := fs.String("receivers", "1", "comma-separated well-behaved receiver counts")
 	attackers := fs.String("attackers", "0", "comma-separated attacker counts")
+	cohorts := fs.String("cohorts", "", "comma-separated aggregated cohort member counts (0 = exact receivers only)")
 	capacity := fs.String("capacity", "1000000", "comma-separated bottleneck bits/s axis")
 	slots := fs.String("slots", "", "comma-separated slot durations in ms (empty = protocol default)")
 	spreads := fs.String("spreads", "", "comma-separated access-delay spreads in ms")
@@ -56,7 +57,7 @@ func runSweep(args []string, out io.Writer) error {
 		}
 		// A canned campaign fixes its own grid; only -scale and -seeds
 		// adjust it. Reject axis flags that would be silently ignored.
-		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "capacity", "slots", "spreads", "churns", "attackats", "flaps", "dur", "warmup", "attack"} {
+		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "cohorts", "capacity", "slots", "spreads", "churns", "attackats", "flaps", "dur", "warmup", "attack"} {
 			if flagWasSet(fs, name) {
 				return fmt.Errorf("-%s has no effect with -campaign (canned campaigns fix their grid; use -scale and -seeds, or drop -campaign for an ad-hoc grid)", name)
 			}
@@ -75,7 +76,7 @@ func runSweep(args []string, out io.Writer) error {
 		var err error
 		if sw, err = buildSweep(sweepAxes{
 			protocols: *protocols, topologies: *topologies,
-			receivers: *receivers, attackers: *attackers,
+			receivers: *receivers, attackers: *attackers, cohorts: *cohorts,
 			capacity: *capacity, slots: *slots, spreads: *spreads,
 			churns: *churns, attackAts: *attackAts, flaps: *flaps,
 			seeds: *seeds, dur: *dur, warmup: *warmup, attackAt: *attackAt,
@@ -107,7 +108,7 @@ func runSweep(args []string, out io.Writer) error {
 // sweepAxes bundles the ad-hoc grid flags.
 type sweepAxes struct {
 	protocols, topologies, receivers, attackers string
-	capacity, slots, spreads                    string
+	cohorts, capacity, slots, spreads           string
 	churns, attackAts, flaps                    string
 	seeds                                       string
 	dur, warmup, attackAt                       float64
@@ -131,6 +132,9 @@ func buildSweep(ax sweepAxes) (deltasigma.Sweep, error) {
 	}
 	if sw.Attackers, err = parseInts(ax.attackers); err != nil {
 		return sw, fmt.Errorf("-attackers: %w", err)
+	}
+	if sw.Cohorts, err = parseInts(ax.cohorts); err != nil {
+		return sw, fmt.Errorf("-cohorts: %w", err)
 	}
 	caps, err := parseCaps(ax.capacity, 1_000_000)
 	if err != nil {

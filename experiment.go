@@ -37,11 +37,13 @@ type Experiment struct {
 	// Protocol is the congestion control variant sessions run.
 	Protocol Protocol
 
-	seed     uint64
-	slot     Time
-	schedule RateSchedule
-	pktSize  int
-	ecnFrac  float64
+	seed      uint64
+	slot      Time
+	schedule  RateSchedule
+	pktSize   int
+	ecnFrac   float64
+	cohortThr int  // AddSession populations above this aggregate (0 = never)
+	noConsol  bool // WithFeedbackConsolidation(false)
 
 	nextID    uint16
 	started   bool
@@ -97,15 +99,17 @@ func New(opts ...Option) (*Experiment, error) {
 		t.Network().SetPool(s.pool)
 	}
 	e := &Experiment{
-		Topo:     t,
-		Protocol: s.protocol,
-		seed:     s.seed,
-		slot:     s.slot,
-		schedule: s.schedule,
-		pktSize:  s.pktSize,
-		ecnFrac:  s.ecnFrac,
-		events:   s.events,
-		poolBase: t.Network().Pool().Outstanding(),
+		Topo:      t,
+		Protocol:  s.protocol,
+		seed:      s.seed,
+		slot:      s.slot,
+		schedule:  s.schedule,
+		pktSize:   s.pktSize,
+		ecnFrac:   s.ecnFrac,
+		cohortThr: s.cohortThr,
+		noConsol:  s.noConsol,
+		events:    s.events,
+		poolBase:  t.Network().Pool().Outstanding(),
 	}
 	if s.audit.enabled {
 		e.audit = newAudit(e, s.audit)
@@ -148,9 +152,13 @@ type ExperimentSession struct {
 	// Receivers holds every receiver in attachment order, attackers
 	// included.
 	Receivers []*Receiver
+	// Cohorts holds every aggregated receiver population in attachment
+	// order (see AddCohort).
+	Cohorts []*Cohort
 
 	exp   *Experiment
 	index int
+	src   *Host // the sender host; cohort feedback reports aim here
 }
 
 // Receiver wraps any protocol's receiver — or attacker — behind one
@@ -266,9 +274,16 @@ func (e *Experiment) AddSession(receivers int) *ExperimentSession {
 		Sender: e.Protocol.NewSender(src, sess, e.Topo.Rand().Fork()),
 		exp:    e,
 		index:  int(e.nextID),
+		src:    src,
 	}
-	for i := 0; i < receivers; i++ {
-		s.AddReceiver()
+	if e.cohortThr > 0 && receivers > e.cohortThr {
+		// WithCohortThreshold: a population this large rides the fluid
+		// aggregate instead of per-packet receiver objects.
+		s.AddCohort(receivers)
+	} else {
+		for i := 0; i < receivers; i++ {
+			s.AddReceiver()
+		}
 	}
 	e.sessions = append(e.sessions, s)
 	return s
@@ -276,6 +291,10 @@ func (e *Experiment) AddSession(receivers int) *ExperimentSession {
 
 // Sessions returns every session in creation order.
 func (e *Experiment) Sessions() []*ExperimentSession { return e.sessions }
+
+// Source returns the session's sender host — the root of the distribution
+// tree, and where cohort feedback reports terminate.
+func (s *ExperimentSession) Source() *Host { return s.src }
 
 // AddReceiver attaches one more well-behaved receiver at the topology's
 // default egress with the default access delay.
@@ -362,6 +381,14 @@ func (e *Experiment) Start() {
 		}
 	}
 
+	// Cohort feedback flows as unicast reports toward each session source;
+	// with consolidation on (the default), every router merges the child
+	// reports of a slot into one before forwarding, so the source-side
+	// control volume scales with tree fan-out, not population.
+	if len(e.Cohorts()) > 0 && !e.noConsol {
+		e.enableConsolidation()
+	}
+
 	sched := e.Topo.Scheduler()
 	for _, s := range e.sessions {
 		s := s
@@ -372,6 +399,13 @@ func (e *Experiment) Start() {
 			}
 			r := r
 			sched.At(r.startAt, r.Start)
+		}
+		for _, c := range s.Cohorts {
+			if c.manual {
+				continue
+			}
+			c := c
+			sched.At(c.startAt, c.Start)
 		}
 	}
 	for _, f := range e.tcps {

@@ -1,0 +1,247 @@
+package cohort
+
+import (
+	"testing"
+
+	"deltasigma/internal/core"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/topo"
+)
+
+// testAgent assembles a minimal dumbbell with one cohort of n members hanging
+// off the right edge, without running the scheduler: the white-box tests
+// below drive the aggregate's slot machinery directly.
+func testAgent(t *testing.T, n uint64) (*topo.Dumbbell, *core.Session, *Agent) {
+	t.Helper()
+	d := topo.New(topo.PaperConfig(250_000, 1))
+	src := d.AddSource("src")
+	p := d.AttachCohort("cohort", -1)
+	d.Done()
+	sess := &core.Session{
+		ID:         1,
+		BaseAddr:   packet.MulticastBase,
+		Rates:      core.PaperSchedule(),
+		SlotDur:    500 * sim.Millisecond,
+		PacketSize: 576,
+	}
+	for _, addr := range sess.Addrs() {
+		d.Fabric.SetSource(addr, src.ID())
+	}
+	return d, sess, New(p.Host, p.Edge, sess, n)
+}
+
+// fullTally builds a tally where groups 1..upTo were fully received and the
+// sender signalled an increase to level inc.
+func fullTally(sess *core.Session, upTo, inc int) *slotTally {
+	tl := newSlotTally(sess.Rates.N)
+	for g := 1; g <= upTo; g++ {
+		tl.got[g-1] = 2
+		tl.expect[g-1] = 2
+	}
+	tl.inc = inc
+	return tl
+}
+
+func TestPendingEqualNormalizesPastDeadlines(t *testing.T) {
+	mk := func(level int, deadlines map[int]uint32) *bucket {
+		b := &bucket{count: 1, level: level, joinedSlot: make([]uint32, 16)}
+		for g, s := range deadlines {
+			b.joinedSlot[g] = s
+		}
+		return b
+	}
+	const slot = 10
+	// A deadline at or before slot+1 is already satisfied, so it must compare
+	// equal to a zero deadline.
+	a := mk(3, map[int]uint32{2: slot + 1, 3: slot})
+	b := mk(3, map[int]uint32{})
+	if !a.pendingEqual(b, slot) || !b.pendingEqual(a, slot) {
+		t.Fatal("past probation deadlines should normalize to zero")
+	}
+	// A still-pending deadline is behavioural state and must keep buckets apart.
+	c := mk(3, map[int]uint32{3: slot + 2})
+	if a.pendingEqual(c, slot) {
+		t.Fatal("future probation deadline compared equal to a satisfied one")
+	}
+	// Different levels never merge.
+	if a.pendingEqual(mk(2, nil), slot) {
+		t.Fatal("buckets at different levels compared equal")
+	}
+}
+
+func TestAdmitMergesEquivalentBuckets(t *testing.T) {
+	_, sess, a := testAgent(t, 100)
+	// Fresh joiners are always level-1 with an immediately-satisfiable
+	// probation deadline, and Rule 2 never fires below level 2, so level-1
+	// admissions coalesce into one bucket no matter when they arrive.
+	a.admit(40, 5)
+	a.admit(10, 7)
+	if len(a.buckets) != 1 || a.buckets[0].count != 50 {
+		t.Fatalf("level-1 admissions: %d buckets, first count %d", len(a.buckets), a.buckets[0].count)
+	}
+	// Once a bucket has climbed, new joiners at level 1 must split off.
+	a.buckets[0].level = 3
+	a.admit(25, 9)
+	if len(a.buckets) != 2 {
+		t.Fatalf("admission against a climbed bucket should split: %d buckets", len(a.buckets))
+	}
+	a.admit(5, 9) // ...and further admissions land in the level-1 bucket
+	if len(a.buckets) != 2 || a.buckets[1].count != 30 {
+		t.Fatalf("repeat admission: %d buckets, level-1 count %d", len(a.buckets), a.buckets[1].count)
+	}
+	// Buckets whose pending state has converged merge back on evaluation.
+	a.buckets[1].level = 3
+	a.buckets[1].joinedSlot = make([]uint32, sess.Rates.N+1)
+	a.mergeBuckets(20)
+	if len(a.buckets) != 1 || a.buckets[0].count != 80 {
+		t.Fatalf("post-probation merge: %d buckets, first count %d", len(a.buckets), a.buckets[0].count)
+	}
+}
+
+func TestLevelsMeanLevelSubscribers(t *testing.T) {
+	_, sess, a := testAgent(t, 100)
+	a.offline = 40
+	a.buckets = []*bucket{
+		{count: 50, level: 1, joinedSlot: make([]uint32, sess.Rates.N+1)},
+		{count: 10, level: 3, joinedSlot: make([]uint32, sess.Rates.N+1)},
+	}
+	lv := a.Levels()
+	if lv[0] != 40 || lv[1] != 50 || lv[3] != 10 {
+		t.Fatalf("Levels() = %v", lv)
+	}
+	if a.Level() != 3 {
+		t.Fatalf("Level() = %d, want 3", a.Level())
+	}
+	if got, want := a.MeanLevel(), (50*1+10*3)/100.0; got != want {
+		t.Fatalf("MeanLevel() = %v, want %v", got, want)
+	}
+	if a.subscribers(1) != 60 || a.subscribers(2) != 10 || a.subscribers(4) != 0 {
+		t.Fatalf("subscribers: %d/%d/%d", a.subscribers(1), a.subscribers(2), a.subscribers(4))
+	}
+	if a.Online() != 60 || a.Offline() != 40 || a.Accounted() != 100 {
+		t.Fatalf("online/offline/accounted: %d/%d/%d", a.Online(), a.Offline(), a.Accounted())
+	}
+}
+
+// TestToggleConservesMembers drives a long pseudo-random toggle sequence and
+// checks the conservation invariant the auditor enforces: every member is
+// always accounted for, online or offline, no matter the churn history.
+func TestToggleConservesMembers(t *testing.T) {
+	const n = 1000
+	_, _, a := testAgent(t, n)
+	a.Start()
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a.Toggle(x % n)
+		if got := a.Accounted(); got != n {
+			t.Fatalf("after %d toggles: accounted %d of %d", i+1, got, n)
+		}
+	}
+	if a.Online() > n {
+		t.Fatalf("online %d exceeds membership", a.Online())
+	}
+	// Out-of-range indexes are ignored, not misaccounted.
+	a.Toggle(n)
+	a.Toggle(n + 12345)
+	if a.Accounted() != n {
+		t.Fatalf("out-of-range toggle broke conservation: %d", a.Accounted())
+	}
+}
+
+func TestEvaluateRuleDecreaseOnLoss(t *testing.T) {
+	_, sess, a := testAgent(t, 80)
+	a.buckets = []*bucket{{count: 80, level: 3, joinedSlot: make([]uint32, sess.Rates.N+1)}}
+	a.subTop = 3
+	// Group 3 saw half its packets: loss, so Rule 2 drops the bucket to 2.
+	tl := fullTally(sess, 2, 0)
+	tl.got[2] = 1
+	tl.expect[2] = 2
+	a.tallies[9] = tl
+	a.evaluate(9)
+	if a.buckets[0].level != 2 || a.Decreases != 80 {
+		t.Fatalf("level %d, decreases %d; want 2, 80", a.buckets[0].level, a.Decreases)
+	}
+	// A level-1 bucket under loss holds at 1: a receiver never leaves its
+	// last group on congestion (Rule 2 applies only above the base layer).
+	a.buckets[0].level = 1
+	a.tallies[10] = newSlotTally(sess.Rates.N) // nothing received: total loss
+	a.evaluate(10)
+	if a.buckets[0].level != 1 {
+		t.Fatalf("base level dropped to %d", a.buckets[0].level)
+	}
+}
+
+func TestEvaluateRuleIncreaseOnSignal(t *testing.T) {
+	_, sess, a := testAgent(t, 60)
+	a.buckets = []*bucket{{count: 60, level: 2, joinedSlot: make([]uint32, sess.Rates.N+1)}}
+	a.subTop = 2
+	// Clean slot with an increase signal to level 3: Rule 3 climbs and arms
+	// the new group's two-slot join probation.
+	a.tallies[7] = fullTally(sess, 2, 3)
+	a.evaluate(7)
+	b := a.buckets[0]
+	if b.level != 3 || a.Increases != 60 {
+		t.Fatalf("level %d, increases %d; want 3, 60", b.level, a.Increases)
+	}
+	if b.joinedSlot[3] != 9 {
+		t.Fatalf("probation deadline %d, want slot+2 = 9", b.joinedSlot[3])
+	}
+	if a.subTop != 3 {
+		t.Fatalf("edge subscription %d not reconciled to 3", a.subTop)
+	}
+	// The probationary group is exempt from the loss rule until its deadline:
+	// a slot with group 3 missing entirely must not demote the bucket.
+	a.tallies[8] = fullTally(sess, 2, 0)
+	a.evaluate(8)
+	if a.buckets[0].level != 3 {
+		t.Fatalf("probationary group loss demoted bucket to %d", a.buckets[0].level)
+	}
+}
+
+func TestEvaluateMissingTallyIsTotalLoss(t *testing.T) {
+	_, sess, a := testAgent(t, 10)
+	a.buckets = []*bucket{{count: 10, level: 4, joinedSlot: make([]uint32, sess.Rates.N+1)}}
+	a.subTop = 4
+	a.evaluate(42) // no tally recorded for slot 42 at all
+	if a.buckets[0].level != 3 || a.Decreases != 10 {
+		t.Fatalf("level %d, decreases %d; want 3, 10", a.buckets[0].level, a.Decreases)
+	}
+}
+
+func TestEvaluateGarbageCollectsStrayTallies(t *testing.T) {
+	_, sess, a := testAgent(t, 10)
+	a.buckets = []*bucket{{count: 10, level: 1, joinedSlot: make([]uint32, sess.Rates.N+1)}}
+	a.tallies[1] = newSlotTally(sess.Rates.N)
+	a.tallies[8] = newSlotTally(sess.Rates.N)
+	a.tallies[10] = fullTally(sess, 1, 0)
+	a.evaluate(10)
+	if _, ok := a.tallies[1]; ok {
+		t.Fatal("stale tally for slot 1 survived GC")
+	}
+	if _, ok := a.tallies[8]; !ok {
+		t.Fatal("recent tally for slot 8 collected too early")
+	}
+}
+
+// TestStartStopLifecycle checks the bulk lifecycle against the subscription
+// diff: Start brings the whole population online at the base level with one
+// graft, Stop leaves every group and parks the members offline.
+func TestStartStopLifecycle(t *testing.T) {
+	d, _, a := testAgent(t, 500)
+	d.Sched.At(0, a.Start)
+	d.Sched.RunUntil(100 * sim.Millisecond)
+	if a.Online() != 500 || a.Level() != 1 || a.subTop != 1 {
+		t.Fatalf("after Start: online %d level %d subTop %d", a.Online(), a.Level(), a.subTop)
+	}
+	a.Stop()
+	if a.Online() != 0 || a.Offline() != 500 || a.subTop != 0 || a.Joined() {
+		t.Fatalf("after Stop: online %d offline %d subTop %d", a.Online(), a.Offline(), a.subTop)
+	}
+	if a.Accounted() != 500 {
+		t.Fatalf("lifecycle broke conservation: %d", a.Accounted())
+	}
+}

@@ -181,6 +181,43 @@ func TestShrinkMinimizesFailingSpec(t *testing.T) {
 	}
 }
 
+// A load-bearing cohort is collapsed to the smallest member count that
+// still reproduces, not dropped: here the cohort is the attacked session's
+// only honest population, so removing it makes the oracle vacuous and the
+// candidate passes — the shrinker must instead halve the membership all the
+// way down to one.
+func TestShrinkCollapsesCohortToSmallestCount(t *testing.T) {
+	sp := Spec{
+		Seed:        9,
+		Protocol:    "flid-dl",
+		Topology:    TopoSpec{Kind: "dumbbell", CapacitiesBps: []int64{600_000}},
+		DurationSec: 10,
+		Sessions: []SessionSpec{{
+			Receivers: []ReceiverSpec{{Attacker: true}},
+			Cohorts:   []int{100_000},
+		}},
+		Events: []EventSpec{{Kind: EvOnset, AtSec: 2, Session: 1, Receiver: 1}},
+		Oracle: &OracleSpec{Session: 1, FromSec: 6, Factor: 1.25, FloorKbps: 30},
+	}
+	if out := Run(sp, nil); !out.Failed() {
+		t.Fatalf("cohort under attack did not trip the oracle: %+v", out)
+	}
+	shrunk, out := Shrink(sp, 0)
+	if !out.Failed() {
+		t.Fatal("shrunk spec no longer fails")
+	}
+	co := shrunk.Sessions[0].Cohorts
+	if len(co) != 1 {
+		t.Fatalf("load-bearing cohort removed: %v", co)
+	}
+	if co[0] != 1 {
+		t.Errorf("cohort not collapsed to the minimal count: %d members", co[0])
+	}
+	if re := Run(shrunk, nil); !re.Failed() || re.Fingerprint != out.Fingerprint {
+		t.Fatalf("collapsed repro does not replay: pass=%v", re.Pass)
+	}
+}
+
 // Repro files round-trip and replay.
 func TestReproRoundTrip(t *testing.T) {
 	dir := t.TempDir()

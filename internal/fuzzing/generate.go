@@ -14,6 +14,9 @@ var (
 		"flid-ds-replicated", "flid-ds-threshold",
 	}
 	genCaps = []int64{250_000, 400_000, 600_000, 800_000, 1_000_000, 1_500_000}
+	// genCohorts is the aggregated-population menu: the fluid model's cost
+	// is count-independent, so large memberships are as cheap as small ones.
+	genCohorts = []int{10, 100, 1_000, 25_000, 500_000}
 )
 
 // Oracle calibration: the suppression bound allows this factor over the
@@ -91,6 +94,23 @@ func Generate(seed uint64) Spec {
 		sp.Sessions = append(sp.Sessions, ss)
 	}
 
+	// Cohorts: aggregated honest populations ride along on the cumulative
+	// variants (the replicated sender carries no per-group FLID stream for
+	// the fluid model to observe, and AddCohort rejects it).
+	if sp.Protocol != "flid-ds-replicated" {
+		for si := range sp.Sessions {
+			if rng.Float64() < 0.3 {
+				n := 1 + rng.IntN(2)
+				for i := 0; i < n; i++ {
+					sp.Sessions[si].Cohorts = append(sp.Sessions[si].Cohorts, genCohorts[rng.IntN(len(genCohorts))])
+				}
+			}
+		}
+		if sp.hasCohorts() && rng.Float64() < 0.4 {
+			sp.NoConsolidation = true
+		}
+	}
+
 	// Cross traffic.
 	sp.TCP = rng.IntN(3)
 	if rng.Float64() < 0.3 {
@@ -126,7 +146,7 @@ func Generate(seed uint64) Spec {
 				honest++
 			}
 		}
-		if honest == 0 {
+		if honest == 0 && len(ss.Cohorts) == 0 {
 			continue
 		}
 		if rng.Float64() < 0.3 {
@@ -136,7 +156,7 @@ func Generate(seed uint64) Spec {
 				FromSec: 0.5, ToSec: round3(dur - 0.5),
 			})
 			churned[si] = true
-		} else if rng.Float64() < 0.25 {
+		} else if honest > 0 && rng.Float64() < 0.25 {
 			// A scripted leave, sometimes followed by a rejoin.
 			ri := 1 + rng.IntN(honest) // honest receivers precede attackers
 			leave := 1 + rng.Float64()*(dur-3)
@@ -190,6 +210,12 @@ func Generate(seed uint64) Spec {
 			if atk == 0 || honest == 0 || churned[si] || stops[si] {
 				continue
 			}
+			// Cohorts sit behind their own private edge with default delay;
+			// the oracle levels per-receiver RTTs to compare equals, which it
+			// cannot do for an aggregate, so such sessions are not measured.
+			if len(sp.Sessions[si].Cohorts) > 0 {
+				continue
+			}
 			// The window opens oracleConverge after the session's LATEST
 			// onset — every attacker must have had its convergence
 			// allowance before measurement starts — and needs runway after
@@ -225,6 +251,16 @@ func Generate(seed uint64) Spec {
 		}
 	}
 	return sp
+}
+
+// hasCohorts reports whether any session carries an aggregated population.
+func (sp Spec) hasCohorts() bool {
+	for _, ss := range sp.Sessions {
+		if len(ss.Cohorts) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // comparablePaths reports whether every default-egress receiver sees the

@@ -89,6 +89,29 @@ func Shrink(spec Spec, budget int) (Spec, Outcome) {
 			}
 		}
 
+		// Drop cohorts outright, and when a cohort is load-bearing, collapse
+		// it to the smallest member count that still reproduces: repeated
+		// halving walks 500000 → 1 in twenty candidates, so a population bug
+		// that survives at one member is reported at one member.
+		for si := range spec.Sessions {
+			for ci := len(spec.Sessions[si].Cohorts) - 1; ci >= 0; ci-- {
+				cand := removeCohort(spec, si, ci)
+				if o, failed := try(cand); failed {
+					spec, out, shrunk = cand, o, true
+					continue
+				}
+				for spec.Sessions[si].Cohorts[ci] > 1 {
+					cand := clone(spec)
+					cand.Sessions[si].Cohorts[ci] /= 2
+					o, failed := try(cand)
+					if !failed {
+						break
+					}
+					spec, out, shrunk = cand, o, true
+				}
+			}
+		}
+
 		// Drop cross traffic.
 		for spec.TCP > 0 {
 			cand := clone(spec)
@@ -138,6 +161,7 @@ func clone(sp Spec) Spec {
 	out.Sessions = make([]SessionSpec, len(sp.Sessions))
 	for i, ss := range sp.Sessions {
 		out.Sessions[i].Receivers = append([]ReceiverSpec(nil), ss.Receivers...)
+		out.Sessions[i].Cohorts = append([]int(nil), ss.Cohorts...)
 	}
 	out.Events = append([]EventSpec(nil), sp.Events...)
 	if sp.Oracle != nil {
@@ -184,8 +208,8 @@ func removeReceiver(sp Spec, si, ri int) Spec {
 					continue // broadcast onset with nobody to inflate
 				}
 			case EvChurn:
-				if honest == 0 {
-					continue // churn needs well-behaved receivers
+				if honest == 0 && len(ss.Cohorts) == 0 {
+					continue // churn needs well-behaved members
 				}
 			}
 		}
@@ -194,6 +218,32 @@ func removeReceiver(sp Spec, si, ri int) Spec {
 	cand.Events = events
 	if cand.Oracle != nil && cand.Oracle.Session == si+1 && (honest == 0 || attackers == 0) {
 		cand.Oracle = nil
+	}
+	return cand
+}
+
+// removeCohort deletes cohort ci (0-based) from session si (0-based),
+// dropping churn events that lose their last well-behaved members and the
+// consolidation toggle when no cohort remains to consolidate.
+func removeCohort(sp Spec, si, ci int) Spec {
+	cand := clone(sp)
+	ss := &cand.Sessions[si]
+	ss.Cohorts = append(ss.Cohorts[:ci], ss.Cohorts[ci+1:]...)
+	if honest, _ := populations(*ss); honest == 0 && len(ss.Cohorts) == 0 {
+		var events []EventSpec
+		for _, ev := range cand.Events {
+			if ev.Kind == EvChurn && ev.Session == si+1 {
+				continue
+			}
+			events = append(events, ev)
+		}
+		cand.Events = events
+		if cand.Oracle != nil && cand.Oracle.Session == si+1 {
+			cand.Oracle = nil // nobody honest left to measure
+		}
+	}
+	if !cand.hasCohorts() {
+		cand.NoConsolidation = false
 	}
 	return cand
 }

@@ -38,6 +38,9 @@ type Spec struct {
 	// CBRFraction, when positive, adds duty-cycled CBR cross traffic at
 	// this fraction of the narrowest bottleneck.
 	CBRFraction float64 `json:"cbr_fraction,omitempty"`
+	// NoConsolidation disables hierarchical feedback consolidation, so
+	// cohort scenarios exercise both the merged and the raw reporting path.
+	NoConsolidation bool `json:"no_consolidation,omitempty"`
 	// Events is the scripted timeline, in declaration order.
 	Events []EventSpec `json:"events,omitempty"`
 	// Oracle, when set, arms the suppression oracle for the run. The
@@ -58,6 +61,10 @@ type TopoSpec struct {
 // SessionSpec is one multicast session's receiver population.
 type SessionSpec struct {
 	Receivers []ReceiverSpec `json:"receivers"`
+	// Cohorts holds aggregated honest populations riding the fluid cohort
+	// model, one member count per cohort. They join at time zero and churn
+	// alongside the exact receivers.
+	Cohorts []int `json:"cohorts,omitempty"`
 }
 
 // ReceiverSpec is one receiver (honest or attacker).
@@ -146,6 +153,9 @@ func (sp Spec) Options() ([]deltasigma.Option, error) {
 			Base: 100_000, Mult: 1.5, N: sp.Groups,
 		}))
 	}
+	if sp.NoConsolidation {
+		opts = append(opts, deltasigma.WithFeedbackConsolidation(false))
+	}
 	events, err := sp.timeline()
 	if err != nil {
 		return nil, err
@@ -207,6 +217,9 @@ func (sp Spec) Wire(e *deltasigma.Experiment) {
 			if rs.StartSec > 0 {
 				r.StartAt(secs(rs.StartSec))
 			}
+		}
+		for _, n := range ss.Cohorts {
+			s.AddCohort(n)
 		}
 	}
 	for i := 0; i < sp.TCP; i++ {

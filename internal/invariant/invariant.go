@@ -75,15 +75,20 @@ func (v Violation) String() string {
 
 // Rule names, exported so callers can filter violations by kind.
 const (
-	RulePoolBalance       = "pool-balance"
-	RuleLinkConservation  = "link-conservation"
-	RuleUtilizationBound  = "utilization-bound"
-	RuleQueueOccupancy    = "queue-occupancy"
-	RuleLinkDrained       = "link-drained"
-	RuleTimeMonotonic     = "time-monotonic"
-	RuleGraftConsistency  = "graft-consistency"
-	RuleLevelBounds       = "level-bounds"
-	RuleSuppressionOracle = "suppression-oracle"
+	RulePoolBalance      = "pool-balance"
+	RuleLinkConservation = "link-conservation"
+	RuleUtilizationBound = "utilization-bound"
+	RuleQueueOccupancy   = "queue-occupancy"
+	RuleLinkDrained      = "link-drained"
+	RuleTimeMonotonic    = "time-monotonic"
+	RuleGraftConsistency = "graft-consistency"
+	RuleLevelBounds      = "level-bounds"
+	// RuleCohortConservation is member conservation for aggregated receiver
+	// populations: online plus offline members always equals the configured
+	// count — churn toggles move members between the two pools, never
+	// create or destroy them.
+	RuleCohortConservation = "cohort-conservation"
+	RuleSuppressionOracle  = "suppression-oracle"
 	// RuleOracleWindow flags a mis-specified oracle (its measurement window
 	// never opened) — distinct from a genuine suppression failure so
 	// shrinking and triage never conflate the two.

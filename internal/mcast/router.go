@@ -3,6 +3,7 @@ package mcast
 import (
 	"deltasigma/internal/netsim"
 	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
 )
 
 // Gatekeeper decides which local interfaces may receive a multicast group's
@@ -53,6 +54,34 @@ type Router struct {
 	ForwardedMcast uint64
 	// DeliveredLocal counts multicast packets delivered onto local interfaces.
 	DeliveredLocal uint64
+
+	// Hierarchical feedback consolidation (Fahmy-style, PAPERS.md): when
+	// enabled the router absorbs upstream-bound ProtoFeedback unicasts,
+	// merges them per (session, slot, destination), and forwards one
+	// consolidated report after fbHold. Control traffic then scales with
+	// tree fan-out instead of receiver population.
+	consolidate bool
+	fbHold      sim.Time
+	fbPending   map[fbKey]*fbEntry
+	// FeedbackAbsorbed counts feedback reports merged into pending state.
+	FeedbackAbsorbed uint64
+	// FeedbackForwarded counts consolidated reports sent upstream.
+	FeedbackForwarded uint64
+}
+
+// fbKey identifies one consolidation bucket.
+type fbKey struct {
+	session uint16
+	slot    uint32
+	dst     packet.Addr
+}
+
+// fbEntry accumulates the reports absorbed for one bucket.
+type fbEntry struct {
+	count     uint64
+	maxLevel  uint8
+	congested bool
+	reports   uint32
 }
 
 // NewRouter creates a router attached to net and fabric.
@@ -97,6 +126,68 @@ func (r *Router) SetGatekeeper(g Gatekeeper) { r.gate = g }
 // Gatekeeper returns the installed policy.
 func (r *Router) Gatekeeper() Gatekeeper { return r.gate }
 
+// EnableConsolidation turns on hierarchical feedback consolidation at this
+// router: upstream-bound feedback reports are held for hold, merged per
+// (session, slot, destination), and re-emitted as a single consolidated
+// report. Enabling on every router of a tree makes feedback volume at the
+// root proportional to the root's fan-out, not the leaf population.
+func (r *Router) EnableConsolidation(hold sim.Time) {
+	if hold <= 0 {
+		hold = sim.Millisecond
+	}
+	r.consolidate = true
+	r.fbHold = hold
+	if r.fbPending == nil {
+		r.fbPending = make(map[fbKey]*fbEntry)
+	}
+}
+
+// ConsolidationEnabled reports whether the router merges feedback.
+func (r *Router) ConsolidationEnabled() bool { return r.consolidate }
+
+// absorbFeedback merges one report into the pending bucket, arming the
+// bucket's flush timer on first contact. Timers are armed in packet-arrival
+// order, so seeded runs replay exactly.
+func (r *Router) absorbFeedback(fb *packet.FeedbackHeader, dst packet.Addr) {
+	k := fbKey{session: fb.Session, slot: fb.Slot, dst: dst}
+	e := r.fbPending[k]
+	if e == nil {
+		e = &fbEntry{}
+		r.fbPending[k] = e
+		r.net.Scheduler().After(r.fbHold, func() { r.flushFeedback(k) })
+	}
+	e.count += fb.Count
+	if fb.MaxLevel > e.maxLevel {
+		e.maxLevel = fb.MaxLevel
+	}
+	e.congested = e.congested || fb.Congested
+	e.reports += fb.Reports
+	r.FeedbackAbsorbed++
+}
+
+// flushFeedback emits one consolidated report for the bucket and clears it.
+func (r *Router) flushFeedback(k fbKey) {
+	e := r.fbPending[k]
+	if e == nil {
+		return
+	}
+	delete(r.fbPending, k)
+	out := r.net.NewPacket(r.addr, k.dst, 0, &packet.FeedbackHeader{
+		Session:   k.session,
+		Slot:      k.slot,
+		Count:     e.count,
+		MaxLevel:  e.maxLevel,
+		Congested: e.congested,
+		Reports:   e.reports,
+	})
+	r.FeedbackForwarded++
+	if next := r.net.NextHopLink(r.id, k.dst); next != nil {
+		next.Send(out)
+	} else {
+		out.Release()
+	}
+}
+
 // Graft asks the fabric to extend the group's tree to this router. The
 // gatekeeper calls this when a local interface becomes entitled to a group.
 func (r *Router) Graft(group packet.Addr) { r.fabric.Graft(group, r.id) }
@@ -135,6 +226,13 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 			}
 			pkt.Release()
 			return
+		}
+		if r.consolidate && pkt.Proto == packet.ProtoFeedback {
+			if fb, ok := pkt.Header.(*packet.FeedbackHeader); ok {
+				r.absorbFeedback(fb, pkt.Dst)
+				pkt.Release()
+				return
+			}
 		}
 		if next := r.net.NextHopLink(r.id, pkt.Dst); next != nil {
 			next.Send(pkt)

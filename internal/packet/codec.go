@@ -172,6 +172,13 @@ func encodeHeader(buf []byte, h Header) error {
 	case *IGMPHeader:
 		buf[0] = byte(t.Op)
 		binary.BigEndian.PutUint32(buf[1:], uint32(t.Group))
+	case *FeedbackHeader:
+		binary.BigEndian.PutUint16(buf[0:], t.Session)
+		binary.BigEndian.PutUint32(buf[2:], t.Slot)
+		binary.BigEndian.PutUint64(buf[6:], t.Count)
+		buf[14] = t.MaxLevel
+		buf[15] = b2u8(t.Congested)
+		binary.BigEndian.PutUint32(buf[16:], t.Reports)
 	default:
 		return fmt.Errorf("packet: cannot encode header type %T", h)
 	}
@@ -303,6 +310,18 @@ func decodeHeader(proto Proto, buf []byte) (Header, error) {
 		}
 		t.Op = IGMPOp(buf[0])
 		t.Group = Addr(binary.BigEndian.Uint32(buf[1:]))
+		return &t, nil
+	case ProtoFeedback:
+		var t FeedbackHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short feedback header")
+		}
+		t.Session = binary.BigEndian.Uint16(buf[0:])
+		t.Slot = binary.BigEndian.Uint32(buf[2:])
+		t.Count = binary.BigEndian.Uint64(buf[6:])
+		t.MaxLevel = buf[14]
+		t.Congested = buf[15] != 0
+		t.Reports = binary.BigEndian.Uint32(buf[16:])
 		return &t, nil
 	default:
 		return nil, fmt.Errorf("packet: cannot decode protocol %v", proto)

@@ -121,6 +121,16 @@ func TestRoundTripIGMP(t *testing.T) {
 	}
 }
 
+func TestRoundTripFeedback(t *testing.T) {
+	p := New(Addr(44), Addr(1), 0, &FeedbackHeader{
+		Session: 3, Slot: 812, Count: 1_000_000, MaxLevel: 7, Congested: true, Reports: 42,
+	})
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("feedback round trip mismatch:\n got %+v\nwant %+v", q.Header, p.Header)
+	}
+}
+
 func TestECNFlagSurvives(t *testing.T) {
 	p := New(Addr(1), Addr(2), 100, &CBRHeader{})
 	p.ECN = true

@@ -159,6 +159,26 @@ func (*IGMPHeader) HeaderProto() Proto { return ProtoIGMP }
 // WireLen implements Header.
 func (*IGMPHeader) WireLen() int { return 5 }
 
+// FeedbackHeader is a per-slot receiver-status report travelling upstream
+// toward the session source. Routers running hierarchical consolidation
+// (Fahmy-style, PAPERS.md) merge the reports of their children and forward
+// one consolidated report per (session, slot) upstream, so feedback volume
+// at the root scales with tree fan-out rather than receiver population.
+type FeedbackHeader struct {
+	Session   uint16
+	Slot      uint32
+	Count     uint64 // receivers represented by this report
+	MaxLevel  uint8  // highest subscription level among them
+	Congested bool   // any represented receiver saw loss this slot
+	Reports   uint32 // raw reports merged into this one (1 at the leaf)
+}
+
+// HeaderProto implements Header.
+func (*FeedbackHeader) HeaderProto() Proto { return ProtoFeedback }
+
+// WireLen implements Header.
+func (*FeedbackHeader) WireLen() int { return 2 + 4 + 8 + 1 + 1 + 4 }
+
 // KeyTuple binds a group address to the keys that open it for one time
 // slot: the top key always, the decrease key for groups 2..N (it unlocks
 // the group below), and the increase key when the protocol authorized an

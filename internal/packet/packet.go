@@ -45,10 +45,11 @@ const (
 	ProtoKeyAnnounce              // SIGMA special packet: address-key tuples for routers
 	ProtoRepl                     // replicated multicast data (Figure 5 protocol)
 	ProtoIGMP                     // plain IGMP join/leave (the insecure baseline)
+	ProtoFeedback                 // consolidated receiver feedback report
 	protoMax
 )
 
-var protoNames = [...]string{"none", "flid", "tcp", "cbr", "sigma", "keyann", "repl", "igmp"}
+var protoNames = [...]string{"none", "flid", "tcp", "cbr", "sigma", "keyann", "repl", "igmp", "feedback"}
 
 // String names the protocol.
 func (p Proto) String() string {

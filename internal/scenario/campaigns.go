@@ -105,6 +105,26 @@ var campaigns = []Campaign{
 		},
 	},
 	{
+		Name:        "million",
+		Description: "cohort-aggregated population scaling, ten thousand to a million receivers per session, FLID-DL vs FLID-DS",
+		Build: func(opt Options) deltasigma.Sweep {
+			cohorts := []int{10_000, 100_000, 1_000_000}
+			if opt.Scale < 1 {
+				cohorts = []int{1_000, 1_000_000}
+			}
+			return deltasigma.Sweep{
+				Name:      "million",
+				Protocols: []string{"flid-dl", "flid-ds"},
+				// The population rides one fluid cohort per point; no exact
+				// receivers, so the point's cost is population-independent.
+				Receivers: []int{0},
+				Cohorts:   cohorts,
+				Duration:  opt.scale(campaignDuration),
+				Seeds:     []uint64{opt.Seed},
+			}
+		},
+	},
+	{
 		Name:        "late-attacker",
 		Description: "inflated-subscription onset swept across the session lifetime, FLID-DL vs FLID-DS",
 		Build: func(opt Options) deltasigma.Sweep {

@@ -6,8 +6,8 @@ import (
 
 func TestCampaignRegistry(t *testing.T) {
 	names := CampaignNames()
-	if len(names) != 6 {
-		t.Fatalf("campaigns = %v, want 6", names)
+	if len(names) != 7 {
+		t.Fatalf("campaigns = %v, want 7", names)
 	}
 	for _, name := range names {
 		c, ok := LookupCampaign(name)

@@ -139,6 +139,19 @@ func (c *Chain) AttachReceiverAt(hop int, name string, delay sim.Time) Port {
 	return Port{Host: h, Edge: edge}
 }
 
+// AttachCohort implements Topology: the cohort's private edge hangs off the
+// far-end router, downstream of every bottleneck.
+func (c *Chain) AttachCohort(name string, delay sim.Time) Port {
+	if delay < 0 {
+		delay = c.cfg.SideDelay
+	}
+	c.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("cohort%d", c.nHosts)
+	}
+	return attachCohortEdge(c.Net, c.Fabric, name, c.Routers[c.Hops()], c.cfg.SideRate, delay, c.RTT(), c.cfg.BDPFactor)
+}
+
 // Edges implements Topology: every router with attached receivers.
 func (c *Chain) Edges() []*mcast.Router { return c.edges.list }
 

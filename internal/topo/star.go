@@ -140,6 +140,21 @@ func (s *Star) AttachReceiverAt(spoke int, name string, delay sim.Time) Port {
 	return Port{Host: h, Edge: edge}
 }
 
+// AttachCohort implements Topology: cohorts round-robin across spokes like
+// individual receivers, each behind its own private edge.
+func (s *Star) AttachCohort(name string, delay sim.Time) Port {
+	spoke := s.next
+	s.next = (s.next + 1) % s.Spokes()
+	if delay < 0 {
+		delay = s.cfg.SideDelay
+	}
+	s.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("cohort%d", s.nHosts)
+	}
+	return attachCohortEdge(s.Net, s.Fabric, name, s.EdgeRouters[spoke], s.cfg.SideRate, delay, s.RTT(), s.cfg.BDPFactor)
+}
+
 // Edges implements Topology: every edge router with attached receivers.
 func (s *Star) Edges() []*mcast.Router { return s.edges.list }
 

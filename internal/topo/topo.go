@@ -95,6 +95,20 @@ func (d *Dumbbell) AttachReceiver(name string, delay sim.Time) Port {
 	return Port{Host: d.AddReceiverDelay(name, delay), Edge: d.Right}
 }
 
+// AttachCohort implements Topology: the cohort's private edge hangs off the
+// right router.
+func (d *Dumbbell) AttachCohort(name string, delay sim.Time) Port {
+	if delay < 0 {
+		delay = d.cfg.SideDelay
+	}
+	d.nHosts++
+	if name == "" {
+		name = fmt.Sprintf("cohort%d", d.nHosts)
+	}
+	rtt := 2 * (d.cfg.SideDelay + d.cfg.BottleneckDelay + delay)
+	return attachCohortEdge(d.Net, d.Fabric, name, d.Right, d.cfg.SideRate, delay, rtt, d.cfg.BDPFactor)
+}
+
 // Edges implements Topology: the right router gatekeeps every receiver.
 func (d *Dumbbell) Edges() []*mcast.Router { return []*mcast.Router{d.Right} }
 

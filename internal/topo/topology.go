@@ -39,6 +39,15 @@ type Topology interface {
 	// the topology default) and returns it together with its gatekeeping
 	// edge router.
 	AttachReceiver(name string, delay sim.Time) Port
+	// AttachCohort adds an aggregated-receiver attachment point at the
+	// topology's default egress: a private edge router reached over an
+	// access link with the given delay (negative selects the topology
+	// default), plus the cohort's host behind it. The private edge is
+	// deliberately absent from Edges() — the cohort installs its own
+	// gatekeeper, so graft/prune state on that edge belongs to the cohort
+	// alone and bulk join/leave never disturbs exact receivers sharing the
+	// upstream router.
+	AttachCohort(name string, delay sim.Time) Port
 	// Edges lists every router that gatekeeps at least one attached
 	// receiver; experiments install one gatekeeper (SIGMA controller or
 	// IGMP) per edge.
@@ -101,4 +110,22 @@ func attachHost(net *netsim.Network, name string, router *mcast.Router, rate int
 	h := net.AddHost(name)
 	net.Connect(h, router, rate, delay, bdpQueue(factor, rate, rtt, 1<<16))
 	return h
+}
+
+// cohortStubRate is the private-edge→cohort-host stub link rate: fast
+// enough that the extra hop adds negligible serialization skew relative to
+// a host attached directly to the shared edge.
+const cohortStubRate int64 = 100_000_000_000
+
+// attachCohortEdge builds a cohort attachment point behind parent: a
+// private edge router reached over a dedicated access link carrying the
+// cohort's delay, with the cohort's single host on a zero-delay stub
+// behind it.
+func attachCohortEdge(net *netsim.Network, fabric *mcast.Fabric, name string, parent *mcast.Router, rate int64, delay, rtt sim.Time, factor float64) Port {
+	edge := mcast.NewRouter(net, fabric, name+"-edge")
+	net.Connect(parent, edge, rate, delay, bdpQueue(factor, rate, rtt, 1<<16))
+	h := net.AddHost(name)
+	net.Connect(h, edge, cohortStubRate, 0, 1<<20)
+	edge.AttachLocal(h)
+	return Port{Host: h, Edge: edge}
 }

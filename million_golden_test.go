@@ -1,0 +1,117 @@
+package deltasigma_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltasigma"
+)
+
+// millionSweep is the canned million-receiver campaign pinned by
+// testdata/million_golden.json: both FLID variants carrying one aggregated
+// cohort of 1,000,000 receivers per session, with Poisson churn across the
+// population. The fluid model makes the per-point cost independent of the
+// member count, so a seven-figure session fits in a unit test.
+func millionSweep() deltasigma.Sweep {
+	return deltasigma.Sweep{
+		Name:       "million-golden",
+		Protocols:  []string{"flid-dl", "flid-ds"},
+		Receivers:  []int{0},
+		Cohorts:    []int{1_000_000},
+		ChurnRates: []float64{0, 50},
+		Duration:   6 * deltasigma.Second,
+		Seeds:      []uint64{23},
+	}
+}
+
+// TestMillionGolden locks the cohort subsystem's determinism at full scale:
+// a seeded campaign with a million receivers per session produces
+// byte-identical JSON across worker counts, pinned against
+// testdata/million_golden.json.
+func TestMillionGolden(t *testing.T) {
+	sw := millionSweep()
+	res1, err := sw.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, err := res1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Failures != 0 {
+		t.Fatalf("million sweep had %d failures:\n%s", res1.Failures, js1)
+	}
+
+	resN, err := sw.Run(*sweepWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsN, err := resN.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, jsN) {
+		t.Fatalf("million sweep JSON differs between -workers=1 and -workers=%d", *sweepWorkers)
+	}
+
+	// Every point must have delivered throughput to its population, or the
+	// golden file pins a vacuous scenario.
+	for _, p := range res1.Points {
+		if p.GoodMeanKbps <= 0 {
+			t.Fatalf("point %s delivered nothing to its million receivers", p.Point)
+		}
+	}
+
+	path := filepath.Join("testdata", "million_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, js1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(js1, want) {
+		t.Errorf("million sweep JSON diverged from golden file %s:\ngot:\n%s\nwant:\n%s", path, js1, want)
+	}
+}
+
+// TestMillionUnderFullAudit runs a seeded session with a 1,000,000-receiver
+// cohort under the complete periodic invariant audit — every conservation
+// law sampled every virtual second, cohort conservation and private-edge
+// graft consistency included — through churn and an attacker onset, and
+// requires a clean drain.
+func TestMillionUnderFullAudit(t *testing.T) {
+	e := deltasigma.MustNew(
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSeed(29),
+		deltasigma.WithAudit(deltasigma.AuditEvery(deltasigma.Second)),
+	)
+	s := e.AddSession(0)
+	c := s.AddCohort(1_000_000)
+	s.AddAttacker()
+	e.AddEvents(
+		deltasigma.AttackerOnset{At: 4 * deltasigma.Second, Session: 1},
+		deltasigma.PoissonChurn{Session: 1, Rate: 100, To: 10 * deltasigma.Second},
+	)
+	e.Advance(10 * deltasigma.Second)
+	if c.Online() == 0 {
+		t.Fatal("the million-member cohort never came online")
+	}
+	if got := c.Agent().Accounted(); got != 1_000_000 {
+		t.Fatalf("cohort members not conserved: %d accounted of 1000000", got)
+	}
+	if vs := e.DrainAndAudit(2 * deltasigma.Second); len(vs) > 0 {
+		for _, v := range vs {
+			t.Error(v)
+		}
+	}
+}

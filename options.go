@@ -9,18 +9,20 @@ import (
 
 // settings accumulates the functional options New applies.
 type settings struct {
-	seed     uint64
-	topology Topology                   // prebuilt; wins over topoFn
-	topoFn   func(seed uint64) Topology // deferred builder, seeded by New
-	protocol Protocol
-	schedule RateSchedule
-	slot     Time // 0 selects the protocol default
-	pktSize  int
-	ecnFrac  float64
-	pool     *packet.Pool
-	events   []TimelineEvent
-	audit    auditSettings
-	err      error
+	seed      uint64
+	topology  Topology                   // prebuilt; wins over topoFn
+	topoFn    func(seed uint64) Topology // deferred builder, seeded by New
+	protocol  Protocol
+	schedule  RateSchedule
+	slot      Time // 0 selects the protocol default
+	pktSize   int
+	ecnFrac   float64
+	cohortThr int
+	noConsol  bool
+	pool      *packet.Pool
+	events    []TimelineEvent
+	audit     auditSettings
+	err       error
 }
 
 // Option configures an Experiment under construction.
@@ -245,6 +247,32 @@ func WithTimeline(events ...TimelineEvent) Option {
 		}
 		s.events = append(s.events, events...)
 	}
+}
+
+// WithCohortThreshold turns large AddSession populations into cohorts: a
+// session asked for more than n well-behaved receivers gets one aggregated
+// Cohort of that size (see ExperimentSession.AddCohort) instead of n
+// per-packet receiver objects. Receivers added individually — AddReceiver,
+// AddAttacker — are never aggregated, so attackers and probes on contested
+// paths stay exact. Zero (the default) never aggregates.
+func WithCohortThreshold(n int) Option {
+	return func(s *settings) {
+		if n <= 0 {
+			s.fail(fmt.Errorf("deltasigma: WithCohortThreshold(%d) must be positive", n))
+			return
+		}
+		s.cohortThr = n
+	}
+}
+
+// WithFeedbackConsolidation toggles hierarchical consolidation of cohort
+// feedback reports at the routers (default on whenever cohorts exist):
+// each router merges the child reports of a (session, slot) into one and
+// forwards it upstream, so source-side control traffic scales with the
+// distribution tree's fan-out rather than the receiver population. Off,
+// every cohort's per-slot report travels to the source individually.
+func WithFeedbackConsolidation(on bool) Option {
+	return func(s *settings) { s.noConsol = !on }
 }
 
 // WithECN turns on threshold ECN marking at every bottleneck queue:

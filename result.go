@@ -21,6 +21,33 @@ type ReceiverResult struct {
 	Series []Point `json:"series,omitempty"`
 }
 
+// CohortResult is one aggregated receiver population's view of a run.
+type CohortResult struct {
+	// Session and Index locate the cohort (both 1-based).
+	Session int `json:"session"`
+	Index   int `json:"index"`
+	// Label is S<session>C<index>.
+	Label string `json:"label"`
+	// Members is the configured population size; Online how many were
+	// joined at run end.
+	Members uint64 `json:"members"`
+	Online  uint64 `json:"online"`
+	// Level is the highest occupied subscription level at run end.
+	Level int `json:"level"`
+	// MeanLevel is the population-average subscription level at run end,
+	// offline members counting as level 0.
+	MeanLevel float64 `json:"mean_level"`
+	// Levels is the member count per level; index 0 holds offline members.
+	Levels []uint64 `json:"levels"`
+	// AvgKbps is the aggregate delivered throughput (summed across
+	// members) averaged over the whole run; PerMemberKbps divides it by
+	// the population.
+	AvgKbps       float64 `json:"avg_kbps"`
+	PerMemberKbps float64 `json:"per_member_kbps"`
+	// Series is the smoothed aggregate throughput time series.
+	Series []Point `json:"series,omitempty"`
+}
+
 // CrossResult is one cross-traffic flow's view of a run.
 type CrossResult struct {
 	// Label is tcp<n> or cbr<n>.
@@ -64,6 +91,9 @@ type Result struct {
 	// Receivers holds one entry per multicast receiver, session by
 	// session in attachment order, attackers included.
 	Receivers []ReceiverResult `json:"receivers"`
+	// Cohorts holds one entry per aggregated receiver population, session
+	// by session in attachment order.
+	Cohorts []CohortResult `json:"cohorts,omitempty"`
 	// Cross holds one entry per TCP flow, then per CBR source.
 	Cross []CrossResult `json:"cross,omitempty"`
 	// Bottlenecks holds one entry per congested link.
@@ -79,6 +109,17 @@ func (r *Result) Receiver(s, i int) *ReceiverResult {
 	for k := range r.Receivers {
 		if r.Receivers[k].Session == s && r.Receivers[k].Index == i {
 			return &r.Receivers[k]
+		}
+	}
+	return nil
+}
+
+// Cohort returns the result entry for session s, cohort i (both 1-based),
+// or nil.
+func (r *Result) Cohort(s, i int) *CohortResult {
+	for k := range r.Cohorts {
+		if r.Cohorts[k].Session == s && r.Cohorts[k].Index == i {
+			return &r.Cohorts[k]
 		}
 	}
 	return nil
@@ -113,6 +154,24 @@ func (e *Experiment) result(until Time) *Result {
 				Level:    r.Level(),
 				AvgKbps:  r.Meter().AvgKbps(0, until),
 				Series:   r.Meter().Series(resultWindow),
+			})
+		}
+	}
+	for _, s := range e.sessions {
+		for _, c := range s.Cohorts {
+			avg := c.Meter().AvgKbps(0, until)
+			res.Cohorts = append(res.Cohorts, CohortResult{
+				Session:       c.session,
+				Index:         c.index,
+				Label:         c.Label(),
+				Members:       c.Members(),
+				Online:        c.Online(),
+				Level:         c.Level(),
+				MeanLevel:     c.MeanLevel(),
+				Levels:        c.Levels(),
+				AvgKbps:       avg,
+				PerMemberKbps: avg / float64(c.Members()),
+				Series:        c.Meter().Series(resultWindow),
 			})
 		}
 	}

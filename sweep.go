@@ -74,11 +74,15 @@ func StarSpec(spokes int) TopologySpec {
 // SweepPoint identifies one grid point of a Sweep: the value picked from
 // every axis.
 type SweepPoint struct {
-	Protocol      string `json:"protocol"`
-	Topology      string `json:"topology"`
-	Receivers     int    `json:"receivers"`
-	Attackers     int    `json:"attackers"`
-	BottleneckBps int64  `json:"bottleneck_bps"`
+	Protocol  string `json:"protocol"`
+	Topology  string `json:"topology"`
+	Receivers int    `json:"receivers"`
+	Attackers int    `json:"attackers"`
+	// Cohort, when positive, adds one aggregated population of that many
+	// well-behaved receivers (see ExperimentSession.AddCohort) alongside
+	// the exact Receivers and Attackers.
+	Cohort        int   `json:"cohort,omitempty"`
+	BottleneckBps int64 `json:"bottleneck_bps"`
 	// SlotNs is the declared slot duration (0 = the protocol default).
 	SlotNs Time `json:"slot_ns,omitempty"`
 	// DelaySpreadNs, when positive, assigns receiver i (of N) the absolute
@@ -103,6 +107,9 @@ type SweepPoint struct {
 func (p SweepPoint) String() string {
 	s := fmt.Sprintf("%s/%s r=%d a=%d cap=%d seed=%d",
 		p.Protocol, p.Topology, p.Receivers, p.Attackers, p.BottleneckBps, p.Seed)
+	if p.Cohort > 0 {
+		s += fmt.Sprintf(" cohort=%d", p.Cohort)
+	}
 	if p.SlotNs > 0 {
 		s += fmt.Sprintf(" slot=%v", p.SlotNs)
 	}
@@ -144,6 +151,7 @@ type Sweep struct {
 	Topologies   []TopologySpec // default {DumbbellSpec()}
 	Receivers    []int          // well-behaved receivers per point; default {1}
 	Attackers    []int          // attackers per point; default {0}
+	Cohorts      []int          // aggregated population per point; 0 = none; default {0}
 	Bottlenecks  []int64        // bottleneck bits/s; default {1_000_000}
 	Slots        []Time         // slot durations; 0 = protocol default; default {0}
 	DelaySpreads []Time         // max absolute access delay across receivers; default {0}
@@ -220,7 +228,7 @@ func (c *CampaignResult) JSON() ([]byte, error) {
 func (c *CampaignResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"protocol", "topology", "receivers", "attackers", "bottleneck_bps",
+		"protocol", "topology", "receivers", "attackers", "cohort", "bottleneck_bps",
 		"slot_ms", "delay_spread_ms", "churn_rate", "attack_at_ms", "flap_period_ms", "seed",
 		"good_mean_kbps", "good_p10_kbps", "good_p50_kbps", "good_p90_kbps",
 		"attacker_mean_kbps", "suppression", "utilization", "lost_packets", "error",
@@ -232,6 +240,7 @@ func (c *CampaignResult) WriteCSV(w io.Writer) error {
 		err := cw.Write([]string{
 			p.Protocol, p.Topology,
 			strconv.Itoa(p.Receivers), strconv.Itoa(p.Attackers),
+			strconv.Itoa(p.Cohort),
 			strconv.FormatInt(p.BottleneckBps, 10),
 			strconv.FormatFloat(float64(p.SlotNs)/float64(Millisecond), 'g', -1, 64),
 			strconv.FormatFloat(float64(p.DelaySpreadNs)/float64(Millisecond), 'g', -1, 64),
@@ -263,6 +272,7 @@ type axes struct {
 	topologies   []TopologySpec
 	receivers    []int
 	attackers    []int
+	cohorts      []int
 	bottlenecks  []int64
 	slots        []Time
 	delaySpreads []Time
@@ -292,6 +302,7 @@ func (sw Sweep) normalize() (axes, error) {
 		topologies:   sw.Topologies,
 		receivers:    orInts(sw.Receivers, 1),
 		attackers:    orInts(sw.Attackers, 0),
+		cohorts:      orInts(sw.Cohorts, 0),
 		bottlenecks:  sw.Bottlenecks,
 		slots:        sw.Slots,
 		delaySpreads: sw.DelaySpreads,
@@ -387,6 +398,11 @@ func (sw Sweep) normalize() (axes, error) {
 			return axes{}, fmt.Errorf("deltasigma: sweep attacker count %d is negative", n)
 		}
 	}
+	for _, n := range a.cohorts {
+		if n < 0 {
+			return axes{}, fmt.Errorf("deltasigma: sweep cohort population %d is negative", n)
+		}
+	}
 	for _, c := range a.bottlenecks {
 		if c <= 0 {
 			return axes{}, fmt.Errorf("deltasigma: sweep bottleneck %d must be positive", c)
@@ -408,7 +424,7 @@ func (sw Sweep) normalize() (axes, error) {
 func (a axes) grid() (campaign.Grid, error) {
 	return campaign.NewGrid(
 		len(a.protocols), len(a.topologies), len(a.receivers), len(a.attackers),
-		len(a.bottlenecks), len(a.slots), len(a.delaySpreads),
+		len(a.cohorts), len(a.bottlenecks), len(a.slots), len(a.delaySpreads),
 		len(a.churnRates), len(a.attackAts), len(a.flapPeriods), len(a.seeds))
 }
 
@@ -421,13 +437,14 @@ func (a axes) point(coords []int) (SweepPoint, TopologySpec) {
 		Topology:      spec.Name,
 		Receivers:     a.receivers[coords[2]],
 		Attackers:     a.attackers[coords[3]],
-		BottleneckBps: a.bottlenecks[coords[4]],
-		SlotNs:        a.slots[coords[5]],
-		DelaySpreadNs: a.delaySpreads[coords[6]],
-		ChurnRate:     a.churnRates[coords[7]],
-		AttackAtNs:    a.attackAts[coords[8]],
-		FlapPeriodNs:  a.flapPeriods[coords[9]],
-		Seed:          a.seeds[coords[10]],
+		Cohort:        a.cohorts[coords[4]],
+		BottleneckBps: a.bottlenecks[coords[5]],
+		SlotNs:        a.slots[coords[6]],
+		DelaySpreadNs: a.delaySpreads[coords[7]],
+		ChurnRate:     a.churnRates[coords[8]],
+		AttackAtNs:    a.attackAts[coords[9]],
+		FlapPeriodNs:  a.flapPeriods[coords[10]],
+		Seed:          a.seeds[coords[11]],
 	}, spec
 }
 
@@ -554,6 +571,9 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 	for i := 0; i < p.Attackers; i++ {
 		s.AddAttacker()
 	}
+	if p.Cohort > 0 {
+		s.AddCohort(p.Cohort)
+	}
 	// Mid-run dynamics all ride the experiment timeline: attacker onset,
 	// Poisson membership churn and bottleneck flapping are the same
 	// mechanism a caller scripts through WithTimeline.
@@ -579,15 +599,30 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 	e.Advance(a.duration)
 
 	var good, atk []float64
+	var goodSum, goodWeight float64
 	for _, r := range s.Receivers {
 		avg := r.Meter().AvgKbps(a.warmup, a.duration)
 		if r.Attacker() {
 			atk = append(atk, avg)
 		} else {
 			good = append(good, avg)
+			goodSum += avg
+			goodWeight++
 		}
 	}
-	pr.GoodMeanKbps = stats.Mean(good)
+	for _, c := range s.Cohorts {
+		// A cohort's members are homogeneous, so the population enters the
+		// statistics as one per-member sample carrying its member count as
+		// weight: the mean is the true per-member mean across everyone,
+		// and the percentile list gets one entry per population.
+		per := c.Meter().AvgKbps(a.warmup, a.duration) / float64(c.Members())
+		good = append(good, per)
+		goodSum += per * float64(c.Members())
+		goodWeight += float64(c.Members())
+	}
+	if goodWeight > 0 {
+		pr.GoodMeanKbps = goodSum / goodWeight
+	}
 	sort.Float64s(good)
 	pr.GoodP10Kbps = stats.PercentileSorted(good, 0.10)
 	pr.GoodP50Kbps = stats.PercentileSorted(good, 0.50)

@@ -108,14 +108,24 @@ func (ev AttackerStop) resolve(e *Experiment) error {
 
 // PoissonChurn drives session-membership churn: toggle events arrive as a
 // Poisson process at Rate events per second across the session's
-// well-behaved receivers (attackers are exempt — churning them would blur
-// the suppression statistics), each toggling one uniformly chosen receiver
-// between joined and left. Randomness forks from the experiment RNG when
-// the experiment starts, so a seeded run replays exactly.
+// well-behaved population (attackers are exempt — churning them would blur
+// the suppression statistics), each toggling one uniformly chosen member
+// between joined and left. Cohort members count individually: a cohort of
+// n carries n times the toggle weight of a single receiver, so aggregated
+// and exact populations churn at the same per-member rate. Randomness
+// forks from the experiment RNG when the experiment starts, so a seeded
+// run replays exactly.
 type PoissonChurn struct {
 	Session  int
-	Rate     float64 // expected toggles/second across the receiver set
+	Rate     float64 // expected toggles/second across the member set
 	From, To Time    // active window
+}
+
+// churnTarget is one uniformly toggleable slice of a session's honest
+// population: n members behind one toggle function taking a member index.
+type churnTarget struct {
+	n      uint64
+	toggle func(idx uint64)
 }
 
 func (ev PoissonChurn) resolve(e *Experiment) error {
@@ -129,22 +139,41 @@ func (ev PoissonChurn) resolve(e *Experiment) error {
 	if ev.To <= ev.From {
 		return fmt.Errorf("PoissonChurn: window [%v,%v) is empty", ev.From, ev.To)
 	}
-	var targets []*Receiver
+	var targets []churnTarget
+	var total uint64
 	for _, r := range s.Receivers {
-		if !r.Attacker() {
-			targets = append(targets, r)
+		if r.Attacker() {
+			continue
 		}
+		r := r
+		targets = append(targets, churnTarget{n: 1, toggle: func(uint64) {
+			if r.Joined() {
+				r.Stop()
+			} else {
+				r.Start()
+			}
+		}})
+		total++
 	}
-	if len(targets) == 0 {
+	for _, c := range s.Cohorts {
+		targets = append(targets, churnTarget{n: c.Members(), toggle: c.Toggle})
+		total += c.Members()
+	}
+	if total == 0 {
 		return fmt.Errorf("PoissonChurn: session %d has no well-behaved receivers", ev.Session)
 	}
+	if total > uint64(int(^uint(0)>>1)) {
+		return fmt.Errorf("PoissonChurn: session %d population %d overflows the toggle index", ev.Session, total)
+	}
 	sched := e.Topo.Scheduler()
-	c := dynamics.NewChurn(sched, e.Topo.Rand().Fork(), ev.Rate, ev.To, len(targets), func(i int) {
-		r := targets[i]
-		if r.Joined() {
-			r.Stop()
-		} else {
-			r.Start()
+	c := dynamics.NewChurn(sched, e.Topo.Rand().Fork(), ev.Rate, ev.To, int(total), func(i int) {
+		idx := uint64(i)
+		for _, t := range targets {
+			if idx < t.n {
+				t.toggle(idx)
+				return
+			}
+			idx -= t.n
 		}
 	})
 	e.churns = append(e.churns, c)
