@@ -19,6 +19,13 @@
 // Every benchmark named in the baseline's "headline" section must appear
 // in the bench output; a missing headline benchmark fails the gate (a
 // deleted or renamed benchmark must update the baseline deliberately).
+//
+// Re-baselining is deliberate but not manual: -update rewrites the
+// baseline's headline after-numbers in place from the same bench output
+// the gate would have read (median ns/op, worst B/op and allocs/op),
+// leaving every other field — before-numbers, notes, environment — intact:
+//
+//	go run ./cmd/benchcheck -baseline BENCH_pr7.json -bench bench.txt -update
 package main
 
 import (
@@ -101,11 +108,66 @@ func medianNs(samples []metrics) float64 {
 	return ns[(len(ns)-1)/2]
 }
 
+// worstB returns the highest B/op across samples.
+func worstB(samples []metrics) float64 {
+	worst := samples[0].BOp
+	for _, s := range samples[1:] {
+		if s.BOp > worst {
+			worst = s.BOp
+		}
+	}
+	return worst
+}
+
+// updateBaseline rewrites the baseline file's headline after-numbers from
+// the parsed bench samples, reduced exactly as the gate reduces them
+// (median ns/op, worst B/op and allocs/op). Every headline benchmark must
+// have samples — re-baselining from a partial run would silently unpin the
+// missing ones. All other JSON content (before-numbers, notes, unknown
+// fields) round-trips untouched via RawMessage.
+func updateBaseline(path string, raw []byte, got map[string][]metrics) error {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var headline map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(doc["headline"], &headline); err != nil {
+		return fmt.Errorf("%s headline: %w", path, err)
+	}
+	for name, entry := range headline {
+		samples := got[name]
+		if len(samples) == 0 {
+			return fmt.Errorf("cannot update: headline %s missing from bench output", name)
+		}
+		after, err := json.Marshal(metrics{
+			NsOp:     medianNs(samples),
+			BOp:      worstB(samples),
+			AllocsOp: worstAllocs(samples),
+		})
+		if err != nil {
+			return err
+		}
+		entry["after"] = after
+		fmt.Printf("update %s: after = %s\n", name, after)
+	}
+	enc, err := json.Marshal(headline)
+	if err != nil {
+		return err
+	}
+	doc["headline"] = enc
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func run() error {
 	basePath := flag.String("baseline", "BENCH_pr6.json", "baseline JSON with a headline section")
 	benchPath := flag.String("bench", "bench.txt", "captured `go test -bench -benchmem` output")
 	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional allocs/op regression over the baseline")
 	nsTolerance := flag.Float64("ns-tolerance", 0.15, "allowed fractional ns/op drift around the baseline (median across reps, both directions); negative disables")
+	update := flag.Bool("update", false, "rewrite the baseline's headline after-numbers from the bench output instead of gating")
 	flag.Parse()
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance %v is negative", *tolerance)
@@ -125,6 +187,9 @@ func run() error {
 	got, err := parseBench(*benchPath)
 	if err != nil {
 		return err
+	}
+	if *update {
+		return updateBaseline(*basePath, raw, got)
 	}
 
 	failed := false

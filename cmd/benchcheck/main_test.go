@@ -80,10 +80,104 @@ func TestMedianNs(t *testing.T) {
 	}
 }
 
+func TestUpdateBaselineRewritesAfterInPlace(t *testing.T) {
+	base := `{
+  "pr": 6,
+  "notes": ["hand-written context the update must not lose"],
+  "env": {"goos": "linux"},
+  "headline": {
+    "BenchmarkFig01InflatedSubscription": {
+      "before": {"ns_op": 1, "B_op": 2, "allocs_op": 3},
+      "after": {"ns_op": 103294204, "B_op": 7157898, "allocs_op": 177771}
+    },
+    "BenchmarkFig07Protection": {
+      "after": {"ns_op": 113037779, "B_op": 9281269, "allocs_op": 198085}
+    }
+  }
+}`
+	path := writeTemp(t, "BENCH.json", base)
+	got := map[string][]metrics{
+		"BenchmarkFig01InflatedSubscription": {
+			{NsOp: 50, BOp: 500, AllocsOp: 5000},
+			{NsOp: 40, BOp: 510, AllocsOp: 5001},
+			{NsOp: 60, BOp: 505, AllocsOp: 4999},
+		},
+		"BenchmarkFig07Protection": {
+			{NsOp: 70, BOp: 700, AllocsOp: 7000},
+		},
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := updateBaseline(path, raw, got); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("rewritten baseline is not valid JSON: %v", err)
+	}
+	// Unknown top-level fields survive the rewrite.
+	for _, key := range []string{"pr", "notes", "env"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("field %q dropped by -update; have %s", key, out)
+		}
+	}
+	var reread baseline
+	if err := json.Unmarshal(out, &reread); err != nil {
+		t.Fatal(err)
+	}
+	// After-numbers reduced exactly as the gate reduces: median ns/op,
+	// worst B/op and allocs/op.
+	fig01 := reread.Headline["BenchmarkFig01InflatedSubscription"].After
+	if fig01.NsOp != 50 || fig01.BOp != 510 || fig01.AllocsOp != 5001 {
+		t.Fatalf("Fig01 after = %+v, want median ns 50, worst B 510, worst allocs 5001", fig01)
+	}
+	// Per-entry fields beyond "after" survive too.
+	var headline map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(doc["headline"], &headline); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := headline["BenchmarkFig01InflatedSubscription"]["before"]; !ok {
+		t.Fatal("before-numbers dropped by -update")
+	}
+
+	// The rewritten baseline must gate cleanly against the run that
+	// produced it.
+	if w := worstAllocs(got["BenchmarkFig07Protection"]); w != reread.Headline["BenchmarkFig07Protection"].After.AllocsOp {
+		t.Fatalf("Fig07 allocs = %v, want %v", reread.Headline["BenchmarkFig07Protection"].After.AllocsOp, w)
+	}
+}
+
+func TestUpdateBaselineRefusesPartialRun(t *testing.T) {
+	base := `{"headline": {"BenchmarkMissing": {"after": {"ns_op": 1, "B_op": 1, "allocs_op": 1}}}}`
+	path := writeTemp(t, "BENCH.json", base)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := updateBaseline(path, raw, map[string][]metrics{}); err == nil {
+		t.Fatal("update from a run missing a headline benchmark must fail")
+	}
+	// And the file must be untouched on failure.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != base {
+		t.Fatal("baseline modified despite failed update")
+	}
+}
+
 // The real repository baseline must parse and carry headline entries with
 // both gated metrics — the gate's own config cannot silently rot.
 func TestRepositoryBaselineIsGateable(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr6.json"))
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr7.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -393,13 +393,36 @@ func (e *Experiment) Start() {
 	for _, s := range e.sessions {
 		s := s
 		sched.At(0, s.Sender.Start)
+		// Consecutive receivers sharing a start time are fed to the slot
+		// batches behind one event instead of one timer each: they start
+		// in attach order, which is exactly the order their individual
+		// events would have fired — they were scheduled consecutively, so
+		// their tie-break seqs were adjacent.
+		var batch []*Receiver
+		var batchAt Time
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			b := batch
+			batch = nil
+			sched.At(batchAt, func() {
+				for _, r := range b {
+					r.Start()
+				}
+			})
+		}
 		for _, r := range s.Receivers {
 			if r.manual {
 				continue // joins only by timeline event or explicit Start
 			}
-			r := r
-			sched.At(r.startAt, r.Start)
+			if len(batch) > 0 && r.startAt != batchAt {
+				flush()
+			}
+			batchAt = r.startAt
+			batch = append(batch, r)
 		}
+		flush()
 		for _, c := range s.Cohorts {
 			if c.manual {
 				continue

@@ -2,18 +2,17 @@ package core
 
 import "deltasigma/internal/sim"
 
-// SlotLoop drives a receiver's once-per-slot evaluation on a single
-// reusable timer: every slotted receiver (FLID-DL, FLID-DS, replicated,
-// threshold) evaluates the finished slot a guard interval into the next
-// one, then advances. One SlotLoop plus one recycled scheduler event serve
-// the receiver's whole lifetime.
+// SlotLoop drives a receiver's once-per-slot evaluation: every slotted
+// receiver (FLID-DL, FLID-DS, replicated, threshold, cohort) evaluates the
+// finished slot a guard interval into the next one, then advances. A
+// SlotLoop is a membership handle on the SlotDriver shared by every loop
+// with the same slot clock — one scheduler event per slot drives them all
+// — so a receiver's whole lifetime costs no timer of its own.
 type SlotLoop struct {
-	sched *sim.Scheduler
-	sess  *Session
-	guard sim.Time // how far into the following slot evaluation waits
-	eval  func(slot uint32) bool
-	timer *sim.Timer
-	slot  uint32
+	driver   *SlotDriver
+	eval     func(slot uint32) bool
+	nextSlot uint32
+	active   bool
 }
 
 // NewSlotLoop builds a loop evaluating sess's slots with eval, which
@@ -21,28 +20,28 @@ type SlotLoop struct {
 // continue — a stopped receiver returns false and the loop goes quiet until
 // the next Schedule call.
 func NewSlotLoop(sched *sim.Scheduler, sess *Session, guard sim.Time, eval func(slot uint32) bool) *SlotLoop {
-	l := &SlotLoop{sched: sched, sess: sess, guard: guard, eval: eval}
-	l.timer = sched.NewTimer(l.fire)
+	l := &SlotLoop{eval: eval}
+	l.driver = driverFor(sched, sess, guard)
 	return l
 }
 
-// Schedule arms evaluation of slot at its guard point (clamped just past
-// now when the guard point has already passed), rescheduling the reusable
-// timer in place.
+// Schedule arms evaluation of slot at its guard point by joining the
+// shared driver. In the degenerate case where the guard point has already
+// passed (never reached by Start or the loop itself, which always target
+// the slot in progress or later), evaluation fires alone just past now,
+// as the per-receiver timer it replaced did.
 func (l *SlotLoop) Schedule(slot uint32) {
-	at := l.sess.SlotStart(slot+1) + l.guard
-	if at <= l.sched.Now() {
-		at = l.sched.Now() + 1
+	d := l.driver
+	if at := d.evalAt(slot); at <= d.sched.Now() && !l.active {
+		d.sched.Schedule(d.sched.Now()+1, func() {
+			if !l.active && l.eval(slot) {
+				l.Schedule(slot + 1)
+			}
+		})
+		return
 	}
-	l.slot = slot
-	l.timer.ResetAt(at)
-}
-
-func (l *SlotLoop) fire() {
-	slot := l.slot
-	if l.eval(slot) {
-		l.Schedule(slot + 1)
-	}
+	l.nextSlot = slot
+	d.join(l)
 }
 
 // SlotScratch is the reusable per-slot auth/counts pair every slotted

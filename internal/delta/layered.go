@@ -161,7 +161,13 @@ func (r *LayeredReceiver) alloc() {
 // Begin resets the receiver for a new slot.
 func (r *LayeredReceiver) Begin(slot uint32) {
 	r.slot = slot
-	r.alloc()
+	clear(r.comp)
+	clear(r.got)
+	clear(r.expect)
+	clear(r.dec)
+	clear(r.haveDec)
+	r.increase = 0
+	r.sawMarked = false
 }
 
 // Slot reports the slot currently being accumulated.

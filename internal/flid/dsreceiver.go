@@ -2,7 +2,6 @@ package flid
 
 import (
 	"deltasigma/internal/core"
-	"deltasigma/internal/delta"
 	"deltasigma/internal/netsim"
 	"deltasigma/internal/packet"
 	"deltasigma/internal/sigma"
@@ -15,18 +14,18 @@ import (
 // congestion state entitles it to, and subscribes through SIGMA for the
 // corresponding access slot (data slot + 2, Figure 2). Congestion control
 // decisions are exactly FLID-DL's — decrease on loss, increase on signal —
-// but enacted through keys instead of trust.
+// but enacted through keys instead of trust. Like the DL receiver, its
+// per-slot state lives in the session's struct-of-arrays batch; the DELTA
+// accumulators themselves are reusable ring entries reset in place.
 type DSReceiver struct {
 	Sess   *core.Session
 	host   *netsim.Host
 	client *sigma.Client
 
-	recvs       map[uint32]*delta.LayeredReceiver
-	levelBySlot map[uint32]int
-	level       int      // latest decided level
-	joinedSlot  []uint32 // first fully observed data slot per group
-	running     bool
-	loop        *core.SlotLoop
+	b       *dsBatch
+	mi      int
+	running bool
+	loop    *core.SlotLoop
 
 	// Meter records delivered session bytes.
 	Meter *stats.Meter
@@ -38,14 +37,13 @@ type DSReceiver struct {
 // router at routerAddr.
 func NewDSReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *DSReceiver {
 	r := &DSReceiver{
-		Sess:        sess,
-		host:        host,
-		client:      sigma.NewClient(host, routerAddr),
-		recvs:       make(map[uint32]*delta.LayeredReceiver),
-		levelBySlot: make(map[uint32]int),
-		joinedSlot:  make([]uint32, sess.Rates.N+2),
-		Meter:       stats.NewMeter(sim.Second),
+		Sess:   sess,
+		host:   host,
+		client: sigma.NewClient(host, routerAddr),
+		b:      dsBatchFor(host.Scheduler(), sess),
+		Meter:  stats.NewMeter(sim.Second),
 	}
+	r.mi = r.b.join()
 	r.loop = core.NewSlotLoop(host.Scheduler(), sess,
 		sim.Time(guardFraction*float64(sess.SlotDur)), r.onEval)
 	host.Handle(packet.ProtoFLID, r.onData)
@@ -53,7 +51,7 @@ func NewDSReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr
 }
 
 // Level reports the latest decided subscription level.
-func (r *DSReceiver) Level() int { return r.level }
+func (r *DSReceiver) Level() int { return int(r.b.level[r.mi]) }
 
 // Client exposes the SIGMA client (attacker subclassing and tests).
 func (r *DSReceiver) Client() *sigma.Client { return r.client }
@@ -66,9 +64,9 @@ func (r *DSReceiver) Start() {
 	r.running = true
 	sched := r.host.Scheduler()
 	cur := r.Sess.SlotAt(sched.Now())
-	r.level = 1
-	r.levelBySlot[cur] = 1
-	r.joinedSlot[1] = cur + 1
+	r.b.level[r.mi] = 1
+	r.b.setLevelAt(r.mi, cur, 1)
+	r.b.joined[r.mi*(r.b.n+2)+1] = cur + 1
 	r.client.SessionJoin(r.Sess.BaseAddr)
 	r.loop.Schedule(cur)
 }
@@ -80,10 +78,10 @@ func (r *DSReceiver) Stop() {
 	}
 	r.running = false
 	r.client.Unsubscribe(r.Sess.Addrs())
-	r.level = 0
+	r.b.level[r.mi] = 0
 }
 
-// onEval fires once per slot on the loop's reusable timer.
+// onEval fires once per slot, batched behind the session's slot driver.
 func (r *DSReceiver) onEval(slot uint32) bool {
 	if !r.running {
 		return false
@@ -98,56 +96,30 @@ func (r *DSReceiver) onData(pkt *packet.Packet) {
 		return
 	}
 	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
-	dr := r.recvs[h.Slot]
-	if dr == nil {
-		dr = delta.NewLayeredReceiver(r.Sess.Rates.N)
-		dr.Begin(h.Slot)
-		r.recvs[h.Slot] = dr
+	if h.Slot < r.b.evalFloor[r.mi] {
+		return // stray from an already evaluated slot; never read
 	}
-	dr.Observe(h, pkt.ECN)
-}
-
-// levelAt returns the subscription level in force during a data slot,
-// walking back to the most recent decision.
-func (r *DSReceiver) levelAt(slot uint32) int {
-	for s := slot; ; s-- {
-		if l, ok := r.levelBySlot[s]; ok {
-			return l
-		}
-		if s == 0 {
-			return 1
-		}
-		if slot-s > 16 {
-			return r.level
-		}
-	}
+	r.b.deltaFor(r.mi, h.Slot).Observe(h, pkt.ECN)
 }
 
 // evaluate runs the DELTA receiver conclusion for the finished data slot
 // and subscribes for the access slot it guards.
 func (r *DSReceiver) evaluate(slot uint32) {
-	dr := r.recvs[slot]
-	delete(r.recvs, slot)
-	for s := range r.recvs {
-		if s+4 < slot {
-			delete(r.recvs, s)
-		}
-	}
-	for s := range r.levelBySlot {
-		if s+8 < slot {
-			delete(r.levelBySlot, s)
-		}
-	}
+	b, mi := r.b, r.mi
+	dr := b.finished(mi, slot)
+	b.evalFloor[mi] = slot + 1
+	b.gcLevels(mi, slot)
 
-	lvl := r.levelAt(slot)
+	lvl := b.levelAt(mi, slot)
 	if lvl == 0 {
 		lvl = 1
 	}
 	// Only groups fully observed for the whole slot count toward the
 	// evaluation; newer grants are still covered by SIGMA's grace window.
+	joined := b.joined[mi*(b.n+2):]
 	effTop := 0
 	for g := 1; g <= lvl; g++ {
-		if r.joinedSlot[g] <= slot {
+		if joined[g] <= slot {
 			effTop = g
 		} else {
 			break
@@ -163,7 +135,7 @@ func (r *DSReceiver) evaluate(slot uint32) {
 		}
 		// Carry the latest decision, not the level active during the
 		// evaluated slot — mid-upgrade they differ.
-		r.levelBySlot[core.AccessSlot(slot)] = r.level
+		b.setLevelAt(mi, core.AccessSlot(slot), int(b.level[mi]))
 		return
 	}
 
@@ -195,7 +167,7 @@ func (r *DSReceiver) evaluate(slot uint32) {
 		if next > effTop {
 			// Upgrade: packets will start flowing in the next slot; count
 			// the group fully from the slot after that.
-			r.joinedSlot[next] = slot + 2
+			joined[next] = slot + 2
 			r.Increases++
 		}
 		// A pending (granted but not yet fully observed) group stays.
@@ -203,19 +175,19 @@ func (r *DSReceiver) evaluate(slot uint32) {
 			next = lvl
 		}
 	}
-	r.level = next
-	r.levelBySlot[core.AccessSlot(slot)] = next
+	b.level[mi] = int32(next)
+	b.setLevelAt(mi, core.AccessSlot(slot), next)
 }
 
 // rejoin re-enters the session keylessly from the minimal group. The
 // receiver may still be receiving group 1 under the session-join grace
-// window, so joinedSlot is left alone: the very next clean slot yields a
+// window, so joined is left alone: the very next clean slot yields a
 // fresh key and clears probation before the grace expires — an isolated
 // loss at the minimal level costs nothing, while sustained congestion still
 // runs into the §3.2.2 penalty.
 func (r *DSReceiver) rejoin(slot uint32) {
 	r.Rejoins++
-	r.level = 1
-	r.levelBySlot[core.AccessSlot(slot)] = 1
+	r.b.level[r.mi] = 1
+	r.b.setLevelAt(r.mi, core.AccessSlot(slot), 1)
 	r.client.SessionJoin(r.Sess.BaseAddr)
 }

@@ -18,46 +18,21 @@ import (
 // of a 250 ms FLID-DS slot leaves ~40 ms for the local round trip.
 const guardFraction = 0.8
 
-// slotTally accumulates per-group receptions for one data slot.
-type slotTally struct {
-	got    []int
-	expect []int
-	inc    int
-}
-
-func newSlotTally(n int) *slotTally {
-	return &slotTally{got: make([]int, n), expect: make([]int, n)}
-}
-
-func (t *slotTally) observe(h *packet.FLIDHeader) {
-	g := int(h.Group)
-	if g < 1 || g > len(t.got) {
-		return
-	}
-	t.got[g-1]++
-	t.expect[g-1] = int(h.Count)
-	if int(h.IncreaseTo) > t.inc {
-		t.inc = int(h.IncreaseTo)
-	}
-}
-
-// lost reports whether group g (1-based) is missing packets.
-func (t *slotTally) lost(g int) bool {
-	return t.got[g-1] == 0 || t.got[g-1] < t.expect[g-1]
-}
-
 // Receiver is a well-behaved FLID-DL receiver: plain IGMP membership,
-// decrease-on-loss, increase-on-signal (§3.1.1's subscription rules).
+// decrease-on-loss, increase-on-signal (§3.1.1's subscription rules). Its
+// per-slot state — subscription level, probation clocks, tallies — lives
+// in the session's shared struct-of-arrays batch (see batch.go); the
+// receiver itself is the index into it plus the pieces that stay per
+// receiver: membership client, meter, move counters.
 type Receiver struct {
 	Sess *core.Session
 	host *netsim.Host
 	igmp *mcast.Client
 
-	level      int
-	joinedSlot []uint32 // data slot from which each group is fully counted
-	tallies    map[uint32]*slotTally
-	running    bool
-	loop       *core.SlotLoop
+	b       *dlBatch
+	mi      int
+	running bool
+	loop    *core.SlotLoop
 
 	// Meter records delivered session bytes (the figures' throughput).
 	Meter *stats.Meter
@@ -69,13 +44,13 @@ type Receiver struct {
 // through the edge router at routerAddr.
 func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Receiver {
 	r := &Receiver{
-		Sess:       sess,
-		host:       host,
-		igmp:       mcast.NewClient(host, routerAddr),
-		joinedSlot: make([]uint32, sess.Rates.N+1),
-		tallies:    make(map[uint32]*slotTally),
-		Meter:      stats.NewMeter(sim.Second),
+		Sess:  sess,
+		host:  host,
+		igmp:  mcast.NewClient(host, routerAddr),
+		b:     dlBatchFor(host.Scheduler(), sess),
+		Meter: stats.NewMeter(sim.Second),
 	}
+	r.mi = r.b.join()
 	r.loop = core.NewSlotLoop(host.Scheduler(), sess,
 		sim.Time(guardFraction*float64(sess.SlotDur)), r.onEval)
 	host.Handle(packet.ProtoFLID, r.onData)
@@ -83,7 +58,7 @@ func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) 
 }
 
 // Level reports the current subscription level.
-func (r *Receiver) Level() int { return r.level }
+func (r *Receiver) Level() int { return int(r.b.level[r.mi]) }
 
 // Start joins the session at the minimal level.
 func (r *Receiver) Start() {
@@ -92,8 +67,8 @@ func (r *Receiver) Start() {
 	}
 	r.running = true
 	cur := r.Sess.SlotAt(r.host.Scheduler().Now())
-	r.level = 1
-	r.joinedSlot[1] = cur + 1 // first fully observed slot
+	r.b.level[r.mi] = 1
+	r.b.joined[r.mi*(r.b.n+1)+1] = cur + 1 // first fully observed slot
 	r.igmp.Join(r.Sess.GroupAddr(1))
 	r.loop.Schedule(cur)
 }
@@ -104,13 +79,13 @@ func (r *Receiver) Stop() {
 		return
 	}
 	r.running = false
-	for g := 1; g <= r.level; g++ {
+	for g := 1; g <= int(r.b.level[r.mi]); g++ {
 		r.igmp.Leave(r.Sess.GroupAddr(g))
 	}
-	r.level = 0
+	r.b.level[r.mi] = 0
 }
 
-// onEval fires once per slot on the loop's reusable timer.
+// onEval fires once per slot, batched behind the session's slot driver.
 func (r *Receiver) onEval(slot uint32) bool {
 	if !r.running {
 		return false
@@ -125,55 +100,53 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 		return
 	}
 	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
-	t := r.tallies[h.Slot]
-	if t == nil {
-		t = newSlotTally(r.Sess.Rates.N)
-		r.tallies[h.Slot] = t
-	}
-	t.observe(h)
+	r.b.observe(r.mi, h)
 }
 
 // evaluate applies the subscription rules to the finished slot.
 func (r *Receiver) evaluate(slot uint32) {
-	t := r.tallies[slot]
-	delete(r.tallies, slot)
-	for s := range r.tallies {
-		if s+4 < slot {
-			delete(r.tallies, s) // GC strays
-		}
-	}
-	if r.level == 0 {
+	b, mi := r.b, r.mi
+	ri := mi*tallyW + int(slot&(tallyW-1))
+	base := ri * b.n
+	has := b.tag[ri] == slot // any packet of the slot tallied (slot 0: zero state reads as an empty tally, like a missing map entry)
+	b.evalFloor[mi] = slot + 1
+
+	lvl := int(b.level[mi])
+	if lvl == 0 {
 		return
 	}
-	if t == nil {
-		t = newSlotTally(r.Sess.Rates.N)
-	}
 
+	joined := b.joined[mi*(b.n+1):]
 	loss := false
-	for g := 1; g <= r.level; g++ {
-		if r.joinedSlot[g] > slot {
+	for g := 1; g <= lvl; g++ {
+		if joined[g] > slot {
 			continue // not yet a full member for this slot
 		}
-		if t.lost(g) {
+		if !has || b.got[base+g-1] == 0 || b.got[base+g-1] < b.expect[base+g-1] {
 			loss = true
 			break
 		}
 	}
+	inc := 0
+	if has {
+		inc = int(b.inc[ri])
+	}
 
 	switch {
-	case loss && r.level > 1:
+	case loss && lvl > 1:
 		// Rule 2: a congested receiver of g groups must drop group g.
-		r.igmp.Leave(r.Sess.GroupAddr(r.level))
-		r.level--
+		r.igmp.Leave(r.Sess.GroupAddr(lvl))
+		b.level[mi]--
 		r.Decreases++
 	case loss:
 		// At the minimal level the receiver stays: the base layer is the
 		// session's floor.
-	case t.inc >= r.level+1 && r.level < r.Sess.Rates.N:
+	case inc >= lvl+1 && lvl < b.n:
 		// Rule 3: an authorized uncongested receiver adds one group.
-		r.level++
-		r.joinedSlot[r.level] = slot + 2 // join mid-slot+1: first full slot
-		r.igmp.Join(r.Sess.GroupAddr(r.level))
+		lvl++
+		b.level[mi] = int32(lvl)
+		joined[lvl] = slot + 2 // join mid-slot+1: first full slot
+		r.igmp.Join(r.Sess.GroupAddr(lvl))
 		r.Increases++
 	}
 }

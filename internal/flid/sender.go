@@ -58,9 +58,10 @@ type Sender struct {
 	policy core.UpgradePolicy
 	rng    *sim.RNG
 
-	pacers []core.Pacer
-	dsend  *delta.LayeredSender
-	ann    *sigma.Announcer
+	pacers   []core.Pacer
+	emitters []groupEmitter
+	dsend    *delta.LayeredSender
+	ann      *sigma.Announcer
 
 	running bool
 	// scratch holds the per-slot auth/counts buffers, reused every slot so
@@ -91,6 +92,12 @@ func NewSender(host *netsim.Host, sess *core.Session, mode Mode, policy core.Upg
 	}
 	for i := range s.pacers {
 		s.pacers[i].MinOne = true
+	}
+	s.emitters = make([]groupEmitter, sess.Rates.N)
+	for i := range s.emitters {
+		e := &s.emitters[i]
+		e.s, e.g = s, i+1
+		e.timer = host.Scheduler().NewTimer(e.fire)
 	}
 	if mode == DS {
 		if keySrc == nil {
@@ -175,17 +182,61 @@ func (s *Sender) runSlot(slot uint32) {
 				at = sched.Now()
 			}
 			pkt := s.host.Network().NewPacket(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
-			g := g
-			sched.Schedule(at, func() {
-				s.PacketsSent++
-				s.PacketsPerGroup[g-1]++
-				s.BytesSent += uint64(pkt.Size)
-				s.host.Send(pkt)
-			})
+			s.emitters[g-1].push(pkt, at, sched.ReserveSeq())
 		}
 	}
 
 	sched.Schedule(s.Sess.SlotStart(slot+1), func() { s.runSlot(slot + 1) })
+}
+
+// groupEmitter drains one group's slot emissions through a single
+// reusable timer and a FIFO ring (the netsim.Link flight-ring pattern):
+// per-packet jitter never exceeds half the intra-group spacing, so a
+// group's emission times are strictly increasing and a FIFO suffices.
+// Each packet's tie-break seq is reserved at queue time and fired via
+// ResetReserved, so every emission happens at exactly the (time, seq) an
+// individually scheduled closure would have used — without allocating a
+// closure and an event per packet.
+type groupEmitter struct {
+	s     *Sender
+	g     int
+	timer *sim.Timer
+	ring  []emission
+	head  int
+}
+
+type emission struct {
+	pkt *packet.Packet
+	at  sim.Time
+	seq uint64
+}
+
+func (e *groupEmitter) push(pkt *packet.Packet, at sim.Time, seq uint64) {
+	if e.head == len(e.ring) {
+		// Fully drained (every slot drains before the next is scheduled):
+		// rewind so the backing array is reused instead of creeping.
+		e.ring = e.ring[:0]
+		e.head = 0
+	}
+	e.ring = append(e.ring, emission{pkt: pkt, at: at, seq: seq})
+	if len(e.ring)-e.head == 1 {
+		e.timer.ResetReserved(at, seq)
+	}
+}
+
+func (e *groupEmitter) fire() {
+	em := e.ring[e.head]
+	e.ring[e.head].pkt = nil
+	e.head++
+	s := e.s
+	s.PacketsSent++
+	s.PacketsPerGroup[e.g-1]++
+	s.BytesSent += uint64(em.pkt.Size)
+	s.host.Send(em.pkt)
+	if e.head < len(e.ring) {
+		next := e.ring[e.head]
+		e.timer.ResetReserved(next.at, next.seq)
+	}
 }
 
 // ObservedFrequency returns the measured f_g over the slots run so far.

@@ -174,6 +174,14 @@ func (f *Fabric) ShouldForward(group packet.Addr, l *netsim.Link) bool {
 	return f.refs[group][l] > 0
 }
 
+// ForwardSet returns the group's live link reference counts (nil when the
+// group has no active branches). Routers resolve it once per packet and
+// probe their out-links against it, instead of re-hashing the group
+// address for every link.
+func (f *Fabric) ForwardSet(group packet.Addr) map[*netsim.Link]int {
+	return f.refs[group]
+}
+
 // ActiveLinks reports how many links currently carry the group, an
 // observability hook for tests.
 func (f *Fabric) ActiveLinks(group packet.Addr) int {

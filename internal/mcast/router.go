@@ -48,7 +48,15 @@ type Router struct {
 	fabric *Fabric
 
 	locals map[packet.Addr]*netsim.Host // local interfaces by host address
-	gate   Gatekeeper
+	// localOrder lists the local interfaces sorted by address. Delivery
+	// iterates this, not the map: map order is random per process, and
+	// although per-receiver state makes delivery order invisible in
+	// results, it showed up as a ±1 allocs/op flutter in the benchmark
+	// gate (consolidation-capable routers grew their feedback map on
+	// different packets). The slice also caches each interface's delivery
+	// link, saving a LinkBetween lookup per local delivery.
+	localOrder []localIf
+	gate       Gatekeeper
 
 	// ForwardedMcast counts multicast packets replicated downstream.
 	ForwardedMcast uint64
@@ -67,6 +75,14 @@ type Router struct {
 	FeedbackAbsorbed uint64
 	// FeedbackForwarded counts consolidated reports sent upstream.
 	FeedbackForwarded uint64
+}
+
+// localIf is one sorted-order local interface with its delivery link,
+// resolved lazily because a host may attach before its link exists.
+type localIf struct {
+	addr packet.Addr
+	host *netsim.Host
+	link *netsim.Link
 }
 
 // fbKey identifies one consolidation bucket.
@@ -111,7 +127,21 @@ func (r *Router) Network() *netsim.Network { return r.net }
 // AttachLocal declares host as a local interface of this (edge) router.
 // The caller is responsible for having connected the host to the router.
 func (r *Router) AttachLocal(h *netsim.Host) {
-	r.locals[h.Addr()] = h
+	addr := h.Addr()
+	r.locals[addr] = h
+	for i := range r.localOrder {
+		if r.localOrder[i].addr == addr {
+			r.localOrder[i] = localIf{addr: addr, host: h}
+			return
+		}
+	}
+	at := len(r.localOrder)
+	for at > 0 && r.localOrder[at-1].addr > addr {
+		at--
+	}
+	r.localOrder = append(r.localOrder, localIf{})
+	copy(r.localOrder[at+1:], r.localOrder[at:])
+	r.localOrder[at] = localIf{addr: addr, host: h}
 }
 
 // Locals returns the attached local hosts keyed by address.
@@ -244,18 +274,23 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 
 	group := pkt.Dst
 
-	// Replicate downstream along the distribution tree.
+	// Replicate downstream along the distribution tree. The group's
+	// forward set is resolved once; checking each out-link is then one
+	// pointer-keyed lookup instead of re-hashing the group address.
 	var fromRev netsim.NodeID = -1
 	if from != nil {
 		fromRev = from.From().ID()
 	}
-	for _, out := range r.net.OutLinks(r.id) {
-		if out.To().ID() == fromRev {
-			continue // never reflect back upstream
-		}
-		if r.fabric.ShouldForward(group, out) {
-			out.Send(pkt.Retain())
-			r.ForwardedMcast++
+	fwd := r.fabric.ForwardSet(group)
+	if len(fwd) > 0 {
+		for _, out := range r.net.OutLinks(r.id) {
+			if out.To().ID() == fromRev {
+				continue // never reflect back upstream
+			}
+			if fwd[out] > 0 {
+				out.Send(pkt.Retain())
+				r.ForwardedMcast++
+			}
 		}
 	}
 
@@ -269,18 +304,22 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 		return
 	}
 
-	// Local delivery, subject to the gatekeeper.
+	// Local delivery, subject to the gatekeeper, in sorted address order.
 	transformer, _ := r.gate.(LocalTransformer)
-	for addr, h := range r.locals {
-		if r.gate == nil || !r.gate.Deliver(group, addr) {
+	for i := range r.localOrder {
+		li := &r.localOrder[i]
+		if r.gate == nil || !r.gate.Deliver(group, li.addr) {
 			continue
 		}
-		if l := r.net.LinkBetween(r.id, h.ID()); l != nil {
+		if li.link == nil {
+			li.link = r.net.LinkBetween(r.id, li.host.ID())
+		}
+		if li.link != nil {
 			out := pkt.Retain()
 			if transformer != nil {
-				out = transformer.TransformLocal(out, addr)
+				out = transformer.TransformLocal(out, li.addr)
 			}
-			l.Send(out)
+			li.link.Send(out)
 			r.DeliveredLocal++
 		}
 	}

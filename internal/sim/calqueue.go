@@ -1,0 +1,236 @@
+package sim
+
+// This file implements the scheduler's pending-event store as a calendar
+// (bucket) queue in the style of Brown's calendar queues, tuned for the
+// slot-periodic schedules this simulator produces: virtual time is cut
+// into fixed-width "days", each day hashes to one bucket of an unordered
+// power-of-two array, and a cursor sweeps the calendar day by day. Insert
+// appends to a bucket and removal swaps with the bucket's last element,
+// both O(1); finding the minimum scans only the cursor's day, which the
+// width feedback below keeps near one event, so pop is O(1) amortized
+// where the previous container/heap implementation paid O(log n) pointer
+// sifts (heap.Pop/Push were >55% of the Fig01/Fig07 CPU profile).
+//
+// Ordering is exactly the heap's: strict (at, seq) order. All events whose
+// timestamp falls inside the cursor's day live in the cursor's bucket, so
+// the in-bucket minimum by (at, seq) is the global minimum; ties at equal
+// timestamps resolve by the same insertion-stable seq the heap compared,
+// which is what keeps every seeded golden byte-identical across the swap.
+//
+// Sizing is grow-only: simulation populations burst every slot (a sender
+// schedules its whole slot's emissions at once, then the calendar drains),
+// and shrinking on the trough just to re-grow on the next burst would
+// reallocate every bucket twice per slot. A calendar that grew once stays
+// grown; bucket capacity persists, so steady state inserts allocate
+// nothing. The day width self-tunes instead: it is seeded from the
+// observed mean inter-event spacing whenever the calendar grows, then
+// corrected by a feedback loop measuring where peek actually spends its
+// steps — many events examined per day means days are too wide (halve),
+// many empty days walked means days are too narrow (double). Retuning
+// refiles events through a reusable scratch buffer in place.
+const (
+	calMinBuckets   = 64
+	calInitialWidth = Millisecond
+	// The feedback window: every calRetuneWindow peeks, compare the two
+	// step counters against calRetuneScan steps per peek and adjust the
+	// day width when either kind of work dominates.
+	calRetuneWindow = 1024
+	calRetuneScan   = 8
+)
+
+type calQueue struct {
+	buckets [][]*event
+	scratch []*event // reused by refile; never shrinks
+	mask    int      // len(buckets)-1; the bucket count is a power of two
+	width   Time     // day width: the span of virtual time one bucket covers
+	count   int
+	curBkt  int  // bucket under the cursor
+	curTop  Time // exclusive end of the day under the cursor
+
+	// Scan-cost accounting driving the width feedback.
+	peeks       int
+	bucketSteps int // events examined inside days (high => width too large)
+	dayAdvances int // empty days walked past (high => width too small)
+}
+
+func (q *calQueue) init() {
+	q.buckets = make([][]*event, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	q.width = calInitialWidth
+	q.curTop = q.width
+}
+
+// place files e into the bucket owning its day. e.at is never negative
+// (the scheduler panics on past scheduling before any event reaches the
+// queue, and the clock starts at zero).
+func (q *calQueue) place(e *event) {
+	day := uint64(e.at) / uint64(q.width)
+	b := int(day) & q.mask
+	e.bkt = b
+	e.idx = len(q.buckets[b])
+	q.buckets[b] = append(q.buckets[b], e)
+}
+
+func (q *calQueue) setCursor(day uint64) {
+	q.curBkt = int(day) & q.mask
+	q.curTop = Time(day+1) * q.width
+}
+
+func (q *calQueue) insert(e *event) {
+	if q.buckets == nil {
+		q.init()
+	}
+	if q.count >= 2*len(q.buckets) {
+		q.grow()
+	}
+	q.place(e)
+	q.count++
+	if q.count == 1 || e.at < q.curTop-q.width {
+		// The event lands on a day before the cursor — or the queue was
+		// empty, leaving the cursor parked wherever the last drain ended —
+		// so rewind to the new event's day. This preserves the scan
+		// invariant: no pending event's day precedes the cursor's day.
+		q.setCursor(uint64(e.at) / uint64(q.width))
+	}
+}
+
+// remove unfiles a pending event in O(1) by swapping it with the last
+// element of its bucket. The cursor never moves here; removal can only
+// leave the cursor's day emptier, which the scan skips naturally.
+func (q *calQueue) remove(e *event) {
+	arr := q.buckets[e.bkt]
+	last := len(arr) - 1
+	moved := arr[last]
+	arr[e.idx] = moved
+	moved.idx = e.idx
+	arr[last] = nil
+	q.buckets[e.bkt] = arr[:last]
+	e.idx = -1
+	q.count--
+}
+
+// peek returns the earliest pending event by (at, seq) without removing
+// it, or nil when the queue is empty. The cursor advances day by day past
+// empty days; a full cycle without a hit means every pending event is at
+// least one calendar year ahead, so peek falls back to a direct scan for
+// the global minimum and jumps the cursor to its day — sparse populations
+// therefore cost O(buckets) per pop instead of walking empty virtual time.
+func (q *calQueue) peek() *event {
+	if q.count == 0 {
+		return nil
+	}
+	q.peeks++
+	for cycle := 0; cycle < len(q.buckets); cycle++ {
+		var best *event
+		for _, e := range q.buckets[q.curBkt] {
+			if e.at < q.curTop && (best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq)) {
+				best = e
+			}
+		}
+		q.bucketSteps += len(q.buckets[q.curBkt])
+		if best != nil {
+			q.maybeRetune()
+			return best
+		}
+		q.dayAdvances++
+		q.curBkt = (q.curBkt + 1) & q.mask
+		q.curTop += q.width
+	}
+	var best *event
+	for _, arr := range q.buckets {
+		for _, e := range arr {
+			if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+				best = e
+			}
+		}
+	}
+	q.setCursor(uint64(best.at) / uint64(q.width))
+	return best
+}
+
+// maybeRetune closes the width feedback loop once per window: if peek
+// examined many events per day, days hold too much and the width halves;
+// if it mostly walked empty days, days are too fine and the width doubles.
+// Either way events are refiled in place — no bucket reallocation — and
+// the counters restart, so a population whose density drifts (slot bursts
+// draining into sparse idle stretches) converges within a window or two.
+func (q *calQueue) maybeRetune() {
+	if q.peeks < calRetuneWindow {
+		return
+	}
+	if q.bucketSteps > calRetuneScan*q.peeks {
+		q.setWidth(q.width / 2)
+	} else if q.dayAdvances > calRetuneScan*q.peeks {
+		q.setWidth(q.width * 2)
+	}
+	q.peeks, q.bucketSteps, q.dayAdvances = 0, 0, 0
+}
+
+func (q *calQueue) setWidth(w Time) {
+	if w < 1 {
+		w = 1
+	}
+	if w == q.width {
+		return
+	}
+	q.width = w
+	q.refile(len(q.buckets))
+}
+
+// grow doubles the bucket count and re-seeds the day width from the
+// population's observed mean inter-event spacing, the estimate the
+// feedback loop then refines.
+func (q *calQueue) grow() {
+	var lo, hi Time
+	first := true
+	for _, arr := range q.buckets {
+		for _, e := range arr {
+			if first || e.at < lo {
+				lo = e.at
+			}
+			if first || e.at > hi {
+				hi = e.at
+			}
+			first = false
+		}
+	}
+	if q.count > 1 && hi > lo {
+		if w := (hi - lo) / Time(q.count-1); w >= 1 {
+			q.width = w
+		} else {
+			q.width = 1
+		}
+	}
+	q.refile(2 * len(q.buckets))
+}
+
+// refile redistributes every pending event under the current width into n
+// buckets, reusing the existing bucket arrays (and their capacity) when n
+// is unchanged, and leaves the cursor on the earliest event's day. Event
+// pointers stay valid throughout — only their bkt/idx coordinates move —
+// so a caller holding peek's result may still remove it afterwards.
+func (q *calQueue) refile(n int) {
+	q.scratch = q.scratch[:0]
+	var lo Time
+	for bi, arr := range q.buckets {
+		for i, e := range arr {
+			if len(q.scratch) == 0 || e.at < lo {
+				lo = e.at
+			}
+			q.scratch = append(q.scratch, e)
+			arr[i] = nil
+		}
+		q.buckets[bi] = arr[:0]
+	}
+	if n != len(q.buckets) {
+		q.buckets = make([][]*event, n)
+		q.mask = n - 1
+	}
+	for i, e := range q.scratch {
+		q.place(e)
+		q.scratch[i] = nil
+	}
+	if q.count > 0 {
+		q.setCursor(uint64(lo) / uint64(q.width))
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// refEvent is one pending entry of the reference scheduler: a plain binary
+// heap ordered by (at, seq), exactly the contract the calendar queue must
+// reproduce.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestSchedulerMatchesReferenceHeap drives randomized schedule/stop/reset
+// workloads through the calendar-queue scheduler and a reference binary
+// heap side by side, asserting the calendar queue pops every event in
+// exactly the heap's (time, seq) order. The workload mixes slot-periodic
+// bursts (the simulator's dominant pattern), uniform noise, far-future
+// outliers (forcing day advances and width retunes), heavy mid-run
+// cancellation, and reschedules — from inside firing callbacks, which is
+// where cursor-rewind bugs live.
+func TestSchedulerMatchesReferenceHeap(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := NewScheduler()
+			rng := NewRNG(seed)
+
+			ref := &refHeap{}
+			dead := map[uint64]bool{} // seqs stopped or superseded by a reset
+			timers := map[int]*Timer{}
+			liveSeq := map[int]uint64{} // timer id → its pending seq
+			pending := []int{}          // ids with a pending entry, selection pool
+			nextID := 0
+			total, fired, stopped := 0, 0, 0
+			const maxEvents = 4000
+
+			removePending := func(id int) {
+				for i, p := range pending {
+					if p == id {
+						pending[i] = pending[len(pending)-1]
+						pending = pending[:len(pending)-1]
+						return
+					}
+				}
+				t.Fatalf("id %d not in pending set", id)
+			}
+
+			// schedule arms a fresh timer at `at` on both structures.
+			var schedule func(at Time)
+			schedule = func(at Time) {
+				id := nextID
+				nextID++
+				total++
+				tm := s.NewTimer(func() {
+					// The calendar queue chose to fire `id` now: the
+					// reference heap must agree it is the minimum.
+					for dead[(*ref)[0].seq] {
+						delete(dead, (*ref)[0].seq)
+						heap.Pop(ref)
+					}
+					top := heap.Pop(ref).(refEvent)
+					if top.id != id || top.at != s.Now() {
+						t.Fatalf("pop order diverged: calendar fired id=%d at %d, heap expected id=%d at %d",
+							id, s.Now(), top.id, top.at)
+					}
+					removePending(id)
+					delete(liveSeq, id)
+					fired++
+
+					// Mutate mid-run with the same deterministic stream.
+					switch r := rng.IntN(10); {
+					case r < 4 && total < maxEvents:
+						// Slot-periodic burst: a cluster in the next "slot".
+						slotStart := s.Now() + Time(Millisecond)
+						for j := 0; j < 4 && total < maxEvents; j++ {
+							schedule(slotStart + Time(rng.IntN(int(Millisecond))))
+						}
+					case r < 6 && total < maxEvents:
+						// Far-future outlier: stresses day advance + retune.
+						schedule(s.Now() + Time(1+rng.IntN(int(10*Second))))
+					case r < 8 && len(pending) > 0:
+						// Stop a random pending timer.
+						victim := pending[rng.IntN(len(pending))]
+						timers[victim].Stop()
+						dead[liveSeq[victim]] = true
+						removePending(victim)
+						delete(liveSeq, victim)
+						stopped++
+					case len(pending) > 0:
+						// Reset a random pending timer to a fresh time.
+						victim := pending[rng.IntN(len(pending))]
+						at := s.Now() + Time(1+rng.IntN(int(Second)))
+						dead[liveSeq[victim]] = true
+						timers[victim].ResetAt(at)
+						seq := s.seq - 1 // seq the reset just consumed
+						liveSeq[victim] = seq
+						heap.Push(ref, refEvent{at: at, seq: seq, id: victim})
+					}
+				})
+				timers[id] = tm
+				tm.ResetAt(at)
+				seq := s.seq - 1
+				liveSeq[id] = seq
+				pending = append(pending, id)
+				heap.Push(ref, refEvent{at: at, seq: seq, id: id})
+			}
+
+			// Seed load: slot bursts plus uniform noise, including exact
+			// time ties (same at, distinct seq) to pin the tie-break.
+			for slot := 0; slot < 20; slot++ {
+				base := Time(slot) * Time(5*Millisecond)
+				for j := 0; j < 8; j++ {
+					schedule(base + Time(rng.IntN(int(5*Millisecond))))
+				}
+				schedule(base) // deliberate tie with slot start
+				schedule(base)
+			}
+			for i := 0; i < 100; i++ {
+				schedule(Time(rng.IntN(int(2 * Second))))
+			}
+
+			s.Run()
+			if len(pending) != 0 {
+				t.Fatalf("%d timers never fired", len(pending))
+			}
+			live := 0
+			for _, e := range *ref {
+				if !dead[e.seq] {
+					live++
+				}
+			}
+			if live != 0 {
+				t.Fatalf("reference heap still holds %d live events after drain", live)
+			}
+			if fired+stopped != total {
+				t.Fatalf("fired %d + stopped %d != scheduled %d", fired, stopped, total)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerSlotPeriodic models the simulator's dominant load: many
+// sessions, each burst-scheduling a slot's worth of events and draining
+// them before the next slot. The calendar queue's day width tunes itself to
+// the intra-slot spacing, making insert and pop O(1) amortized where the
+// binary heap paid O(log n) per operation on the burst.
+func BenchmarkSchedulerSlotPeriodic(b *testing.B) {
+	const sessions = 16
+	const perSlot = 64
+	slotDur := Time(250 * Millisecond)
+	spacing := slotDur / perSlot
+
+	s := NewScheduler()
+	n := 0
+	var runSlot func(sess int)
+	runSlot = func(sess int) {
+		start := s.Now()
+		for j := 0; j < perSlot; j++ {
+			s.Schedule(start+Time(j)*spacing+Time(sess), func() { n++ })
+		}
+		if n < b.N {
+			s.Schedule(start+slotDur, func() { runSlot(sess) })
+		}
+	}
+	b.ResetTimer()
+	for sess := 0; sess < sessions; sess++ {
+		sess := sess
+		s.Schedule(Time(sess)*(slotDur/sessions), func() { runSlot(sess) })
+	}
+	s.Run()
+}

@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -54,10 +53,12 @@ type event struct {
 	at  Time
 	seq uint64
 	do  func()
-	// idx is the heap index, maintained by eventHeap; -1 once popped or
-	// removed. An event is pending if and only if idx >= 0: Timer.Stop
-	// removes its event from the heap immediately, so no dead events ever
-	// drain through the run loop.
+	// bkt and idx locate the event inside the calendar queue: the bucket
+	// it is filed in and its position within that bucket. idx is -1 once
+	// popped or removed. An event is pending if and only if idx >= 0:
+	// Timer.Stop removes its event from the calendar immediately, so no
+	// dead events ever drain through the run loop.
+	bkt int
 	idx int
 	// gen counts how many times this event object has been recycled through
 	// the scheduler freelist. A Timer snapshots gen when it arms; a mismatch
@@ -66,48 +67,16 @@ type event struct {
 	gen uint64
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Scheduler is the event loop of the simulation. The zero value is not
 // usable; construct with NewScheduler.
 type Scheduler struct {
-	heap    eventHeap
+	cal     calQueue
 	free    []*event // recycled events, reused by alloc
 	now     Time
 	seq     uint64
 	stopped bool
 	fired   uint64
+	anchors map[any]any // per-scheduler singletons, see Anchor
 }
 
 // NewScheduler returns an empty scheduler positioned at virtual time zero.
@@ -123,15 +92,33 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending reports how many live events are queued. Stopped timers leave
-// the heap immediately and are not counted.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+// the calendar immediately and are not counted.
+func (s *Scheduler) Pending() int { return s.cal.count }
+
+// Anchor returns the per-scheduler singleton stored under key, creating it
+// with mk on first use. Layers above the engine hang shared machinery off
+// the scheduler that owns the experiment — a clock's slot driver, a
+// session's receiver batch — without global registries that would leak
+// state across concurrently running experiments. Keys follow the
+// context.Value convention: an unexported comparable type per caller.
+func (s *Scheduler) Anchor(key any, mk func() any) any {
+	if s.anchors == nil {
+		s.anchors = make(map[any]any)
+	}
+	v, ok := s.anchors[key]
+	if !ok {
+		v = mk()
+		s.anchors[key] = v
+	}
+	return v
+}
 
 // FreeEvents reports how many recycled events sit on the freelist — steady
 // state keeps this roughly constant while alloc traffic drops to zero.
 func (s *Scheduler) FreeEvents() int { return len(s.free) }
 
 // alloc produces a pending event at time t running f, reusing a recycled
-// event when one is available, and pushes it onto the heap.
+// event when one is available, and files it into the calendar.
 func (s *Scheduler) alloc(t Time, f func()) *event {
 	return s.allocSeq(t, f, s.ReserveSeq())
 }
@@ -152,7 +139,7 @@ func (s *Scheduler) allocSeq(t Time, f func(), seq uint64) *event {
 		e = &event{at: t, do: f}
 	}
 	e.seq = seq
-	heap.Push(&s.heap, e)
+	s.cal.insert(e)
 	return e
 }
 
@@ -238,13 +225,13 @@ func (s *Scheduler) Run() { s.run(false, 0) }
 // both share freelist and clock semantics exactly.
 func (s *Scheduler) run(bounded bool, limit Time) {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		e := s.heap[0]
+	for s.cal.count > 0 && !s.stopped {
+		e := s.cal.peek()
 		if bounded && e.at > limit {
 			s.now = limit
 			return
 		}
-		heap.Pop(&s.heap)
+		s.cal.remove(e)
 		s.now = e.at
 		s.fired++
 		do := e.do
@@ -272,7 +259,7 @@ type Timer struct {
 
 // valid reports whether the handle still owns a pending event: the event
 // must not have been recycled out from under it (gen match) and must still
-// sit in the heap.
+// sit in the calendar.
 func (t *Timer) valid() bool {
 	return t != nil && t.ev != nil && t.gen == t.ev.gen && t.ev.idx >= 0
 }
@@ -282,10 +269,11 @@ func (t *Timer) valid() bool {
 // of whatever the recycled event runs now. It reports whether the event was
 // still pending.
 //
-// The event is removed from the scheduler heap immediately and recycled —
-// cancelled timers do not linger until their timestamp drains, so workloads
-// that set and cancel many timers (TCP retransmission) keep Pending() and
-// the per-operation O(log n) cost proportional to live events only.
+// The event is removed from the scheduler's calendar immediately and
+// recycled — cancelled timers do not linger until their timestamp drains,
+// so workloads that set and cancel many timers (TCP retransmission) keep
+// Pending() proportional to live events only, and removal itself is O(1):
+// a swap with the last event in the same calendar bucket.
 func (t *Timer) Stop() bool {
 	if !t.valid() {
 		if t != nil {
@@ -293,7 +281,7 @@ func (t *Timer) Stop() bool {
 		}
 		return false
 	}
-	heap.Remove(&t.sched.heap, t.ev.idx)
+	t.sched.cal.remove(t.ev)
 	t.sched.recycle(t.ev)
 	t.ev = nil
 	return true
@@ -313,10 +301,11 @@ func (t *Timer) When() Time {
 }
 
 // Reset arms the timer to run its function d after the current virtual time.
-// An active timer is rescheduled in place via heap.Fix — no allocation, no
-// heap churn beyond the sift; an inactive one is re-armed from the freelist.
-// Negative d clamps to zero. The timer must have a function (from NewTimer,
-// MakeTimer, At or After).
+// An active timer keeps its event object and is simply refiled into the
+// calendar bucket owning the new timestamp — no allocation, two O(1) bucket
+// operations; an inactive one is re-armed from the freelist. Negative d
+// clamps to zero. The timer must have a function (from NewTimer, MakeTimer,
+// At or After).
 func (t *Timer) Reset(d Time) {
 	if d < 0 {
 		d = 0
@@ -348,9 +337,10 @@ func (t *Timer) resetAt(at Time, seq uint64) {
 		if at < t.sched.now {
 			panic(fmt.Sprintf("sim: resetting to %v before now %v", at, t.sched.now))
 		}
+		t.sched.cal.remove(t.ev)
 		t.ev.at = at
 		t.ev.seq = seq
-		heap.Fix(&t.sched.heap, t.ev.idx)
+		t.sched.cal.insert(t.ev)
 		return
 	}
 	e := t.sched.allocSeq(at, t.do, seq)
