@@ -192,6 +192,11 @@ func (a *Audit) Finish() []Violation {
 	now := e.Now()
 	a.Check()
 	a.aud.CheckPoolBalance(now, e.Topo.Network().Pool(), e.poolBase)
+	// Sharded runs mint from per-shard pools; each must close independently
+	// (the cut hand-off copies between pools, never moves ownership across).
+	for _, p := range e.shardPoolTail() {
+		a.aud.CheckPoolBalance(now, p, 0)
+	}
 	for _, l := range e.Topo.Network().Links() {
 		a.aud.CheckLinkDrained(now, l)
 	}
@@ -304,11 +309,25 @@ func (e *Experiment) CheckDrained() []Violation {
 	var aud invariant.Auditor
 	now := e.Now()
 	aud.CheckPoolBalance(now, e.Pool(), e.poolBase)
+	for _, p := range e.shardPoolTail() {
+		aud.CheckPoolBalance(now, p, 0)
+	}
 	for _, l := range e.Topo.Network().Links() {
 		aud.CheckLink(now, l)
 		aud.CheckLinkDrained(now, l)
 	}
 	return aud.Violations()
+}
+
+// shardPoolTail returns the packet pools of shards 1..n-1 (empty for serial
+// runs); shard 0's pool is the network's main pool, audited against
+// poolBase separately.
+func (e *Experiment) shardPoolTail() []*PacketPool {
+	pools := e.Topo.Network().ShardPools()
+	if len(pools) < 2 {
+		return nil
+	}
+	return pools[1:]
 }
 
 // DrainAndAudit is the packaged end-of-run sequence: stop all traffic, let

@@ -107,6 +107,41 @@ func BenchmarkCohort1M(b *testing.B) {
 	}
 }
 
+// benchShardFanout is the dense fan-out the sharded engine targets: one
+// protected session fanning out to 128 receivers with heterogeneous access
+// delays on an 8 Mbps dumbbell, one simulated second per iteration. Most
+// events are per-receiver work (access-link deliveries, FLID timers, SIGMA
+// exchanges), so it parallelizes where the two-receiver figure scenarios —
+// dominated by shard 0's shared bottleneck — cannot.
+func benchShardFanout(b *testing.B, shards int) {
+	b.Helper()
+	exp := deltasigma.MustNew(
+		deltasigma.WithDumbbell(8_000_000),
+		deltasigma.WithProtocol("flid-ds"),
+		deltasigma.WithSeed(9),
+		deltasigma.WithShards(shards),
+	)
+	sess := exp.AddSession(0)
+	for i := 0; i < 256; i++ {
+		sess.AddReceiverDelay(deltasigma.Time(20+i%41) * deltasigma.Millisecond)
+	}
+	exp.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Advance(deltasigma.Time(i+1) * deltasigma.Second)
+	}
+}
+
+// BenchmarkShardFanoutSerial runs the fan-out on the serial engine — the
+// baseline the sharded rows are measured against.
+func BenchmarkShardFanoutSerial(b *testing.B) { benchShardFanout(b, 1) }
+
+// BenchmarkShardFanoutSharded runs the same fan-out under WithShards(0):
+// auto-sharded from GOMAXPROCS, so the -cpu=1,4,8 rows form the scaling
+// table (the -cpu=1 row degenerates to serial).
+func BenchmarkShardFanoutSharded(b *testing.B) { benchShardFanout(b, 0) }
+
 // benchSweep is the campaign grid the sweep benchmarks share: 2 protocols
 // × 2 receiver counts × 2 attacker counts = 8 independent points.
 func benchSweep() deltasigma.Sweep {

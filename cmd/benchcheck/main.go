@@ -19,6 +19,10 @@
 // Every benchmark named in the baseline's "headline" section must appear
 // in the bench output; a missing headline benchmark fails the gate (a
 // deleted or renamed benchmark must update the baseline deliberately).
+// A headline name may carry the GOMAXPROCS suffix (BenchmarkX-8) to gate
+// exactly one row of a -cpu=1,4,8 run — how the sharded-simulation speedup
+// rows are pinned — while a bare name aggregates every row of that
+// benchmark.
 //
 // Re-baselining is deliberate but not manual: -update rewrites the
 // baseline's headline after-numbers in place from the same bench output
@@ -59,12 +63,19 @@ type metrics struct {
 // benchLine matches one `go test -bench -benchmem` result line, e.g.
 //
 //	BenchmarkFig01InflatedSubscription-4  3  103294204 ns/op  7157898 B/op  177771 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
 // parseBench extracts every per-benchmark sample from -bench output, in
 // file order. Repetitions (-count>1, several packages) each contribute one
 // sample; the gates reduce them per metric — worst for allocs/op, median
 // for ns/op — so a gate never passes on the luckiest sample.
+//
+// Each sample is stored under both its exact printed name (with the
+// GOMAXPROCS suffix, e.g. BenchmarkX-8) and the bare name. A baseline that
+// names the suffixed form gates one -cpu row exactly — how the sharded
+// speedup rows are pinned — while bare names aggregate every row, keeping
+// pre-suffix baselines valid. A -cpu=1 row prints without a suffix, so it
+// only ever contributes to the bare name.
 func parseBench(path string) (map[string][]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -78,10 +89,14 @@ func parseBench(path string) (map[string][]metrics, error) {
 		if m == nil {
 			continue
 		}
-		ns, _ := strconv.ParseFloat(m[2], 64)
-		b, _ := strconv.ParseFloat(m[3], 64)
-		allocs, _ := strconv.ParseFloat(m[4], 64)
-		out[m[1]] = append(out[m[1]], metrics{NsOp: ns, BOp: b, AllocsOp: allocs})
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b, _ := strconv.ParseFloat(m[4], 64)
+		allocs, _ := strconv.ParseFloat(m[5], 64)
+		sample := metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+		out[m[1]] = append(out[m[1]], sample)
+		if m[2] != "" {
+			out[m[1]+m[2]] = append(out[m[1]+m[2]], sample)
+		}
 	}
 	return out, sc.Err()
 }

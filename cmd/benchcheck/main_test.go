@@ -29,11 +29,15 @@ ok  	deltasigma	2.1s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	// Two benchmarks, each under its bare name and its exact -4 name.
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmark keys, want 4: %v", len(got), got)
 	}
 	if n := len(got["BenchmarkFig07Protection"]); n != 2 {
 		t.Fatalf("Fig07 should keep both samples, got %d", n)
+	}
+	if n := len(got["BenchmarkFig07Protection-4"]); n != 2 {
+		t.Fatalf("Fig07's exact -cpu name should keep both samples, got %d", n)
 	}
 	if got["BenchmarkFig01InflatedSubscription"][0].AllocsOp != 177771 {
 		t.Fatalf("Fig01 allocs = %v", got["BenchmarkFig01InflatedSubscription"])
@@ -56,6 +60,51 @@ func TestParseBenchLineWithoutBenchmem(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("parsed %v from a line without alloc columns", got)
+	}
+}
+
+// A -cpu=1,4,8 run keeps each suffixed row separately gateable: the exact
+// name pins one row, the bare name aggregates all of them (the suffixless
+// -cpu=1 row included).
+func TestParseBenchCPURows(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `
+BenchmarkShardFanoutSharded     	       2	 900000 ns/op	 100 B/op	  10 allocs/op
+BenchmarkShardFanoutSharded-4   	       2	 400000 ns/op	 100 B/op	  10 allocs/op
+BenchmarkShardFanoutSharded-8   	       2	 300000 ns/op	 100 B/op	  10 allocs/op
+BenchmarkShardFanoutSharded-8   	       2	 320000 ns/op	 100 B/op	  10 allocs/op
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got["BenchmarkShardFanoutSharded"]); n != 4 {
+		t.Fatalf("bare name aggregates %d samples, want 4", n)
+	}
+	if n := len(got["BenchmarkShardFanoutSharded-8"]); n != 2 {
+		t.Fatalf("exact -8 name has %d samples, want 2", n)
+	}
+	if ns := medianNs(got["BenchmarkShardFanoutSharded-8"]); ns != 300000 {
+		t.Fatalf("-8 median = %v, want 300000 (the -8 rows only)", ns)
+	}
+	if _, ok := got["BenchmarkShardFanoutSharded-1"]; ok {
+		t.Fatal("a -1 key must not exist: the cpu=1 row prints without a suffix")
+	}
+	// -update with a suffixed headline name picks the exact row.
+	base := `{"headline": {"BenchmarkShardFanoutSharded-8": {"after": {"ns_op": 1, "B_op": 1, "allocs_op": 1}}}}`
+	bpath := writeTemp(t, "BENCH.json", base)
+	if err := updateBaseline(bpath, []byte(base), got); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reread baseline
+	if err := json.Unmarshal(out, &reread); err != nil {
+		t.Fatal(err)
+	}
+	if ns := reread.Headline["BenchmarkShardFanoutSharded-8"].After.NsOp; ns != 300000 {
+		t.Fatalf("updated -8 ns/op = %v, want 300000", ns)
 	}
 }
 
@@ -177,7 +226,7 @@ func TestUpdateBaselineRefusesPartialRun(t *testing.T) {
 // The real repository baseline must parse and carry headline entries with
 // both gated metrics — the gate's own config cannot silently rot.
 func TestRepositoryBaselineIsGateable(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr7.json"))
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_pr8.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,10 @@ import (
 	"deltasigma"
 )
 
+// warnOut receives advisory warnings (never the command output itself);
+// tests swap it to capture warnings.
+var warnOut io.Writer = os.Stderr
+
 func main() {
 	var err error
 	switch {
@@ -92,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	cbrFrac := fs.Float64("cbr", 0, "on-off CBR cross traffic at this fraction of the narrowest bottleneck (0 = none)")
 	dur := fs.Float64("dur", 60, "simulated seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
+	shards := fs.Int("shards", -1, "parallel simulation shards: 0 = auto (one per core), 1 = serial, >1 explicit (results are identical either way)")
 	jsonOut := fs.Bool("json", false, "dump the typed Result as JSON instead of the progress table")
 	list := fs.Bool("list", false, "list registered protocols and exit")
 	if err := fs.Parse(args); err != nil {
@@ -121,9 +126,25 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Mid-run dynamics are scripted through the timeline, which mutates
+	// cross-shard state; dsim declines the shard request up front rather
+	// than let AddEvents reject it after receivers have migrated.
+	shardsRequested := flagWasSet(fs, "shards")
+	if shardsRequested && *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative (0 = auto, 1 = serial), got %d", *shards)
+	}
+	dynamics := *attackAt > 0 || *churn > 0 || *flap > 0
+	if shardsRequested && dynamics && *shards != 1 {
+		fmt.Fprintln(warnOut, "dsim: -shards ignored: mid-run dynamics (-attack, -churn, -flap) require serial execution")
+		shardsRequested = false
+	}
+
 	opts := []deltasigma.Option{
 		deltasigma.WithProtocol(*protocol),
 		deltasigma.WithSeed(*seed),
+	}
+	if shardsRequested {
+		opts = append(opts, deltasigma.WithShards(*shards))
 	}
 	if *groups > 0 {
 		opts = append(opts, deltasigma.WithSchedule(deltasigma.RateSchedule{
@@ -218,6 +239,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	exp.AddEvents(events...)
+	if shardsRequested {
+		if got, migrated, reason := exp.ShardStatus(); reason != "" {
+			fmt.Fprintf(warnOut, "dsim: running serial: %s\n", reason)
+		} else if got > 1 && migrated < got-1 {
+			fmt.Fprintf(warnOut, "dsim: -shards %d exceeds the usable cuts: %d migratable receiver host(s) fill only %d of %d receiver shards\n",
+				got, migrated, migrated, got-1)
+		}
+	}
 	if *jsonOut {
 		res := exp.Run(end)
 		enc := json.NewEncoder(out)

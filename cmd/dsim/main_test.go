@@ -222,6 +222,84 @@ func TestSweepCSVShape(t *testing.T) {
 	}
 }
 
+// -shards validation across the three subcommands: negative values (other
+// than fuzz's -1 = off default) are rejected before anything runs.
+func TestShardsFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-shards", "-2"}, &buf); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run accepted negative -shards: %v", err)
+	}
+	if err := runSweep([]string{"-shards", "-1"}, &buf); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("runSweep accepted negative -shards: %v", err)
+	}
+	if err := runFuzz([]string{"-shards", "-2"}, &buf); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("runFuzz accepted -shards below -1: %v", err)
+	}
+}
+
+// -shards with mid-run dynamics warns and runs serial; a request wider
+// than the topology's usable cuts warns about unfilled shards. Neither
+// warning touches the command output itself.
+func TestShardsWarnings(t *testing.T) {
+	defer func() { warnOut = os.Stderr }()
+	var warn, buf bytes.Buffer
+	warnOut = &warn
+
+	if err := run([]string{"-sessions", "1", "-dur", "2", "-attack", "1", "-shards", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn.String(), "-shards ignored") {
+		t.Errorf("no dynamics warning:\n%s", warn.String())
+	}
+
+	warn.Reset()
+	buf.Reset()
+	if err := run([]string{"-sessions", "2", "-dur", "2", "-shards", "6", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn.String(), "usable cuts") {
+		t.Errorf("no under-fill warning:\n%s", warn.String())
+	}
+	if strings.Contains(buf.String(), "usable cuts") {
+		t.Errorf("warning leaked into the JSON output:\n%s", buf.String())
+	}
+}
+
+// The typed Result is byte-identical whatever -shards says; only the
+// sharding metadata block differs.
+func TestShardsJSONEquivalence(t *testing.T) {
+	strip := func(args []string) ([]byte, *deltasigma.ShardingResult) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var res deltasigma.Result
+		if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+			t.Fatalf("non-JSON output: %v\n%s", err, buf.String())
+		}
+		sh := res.Sharding
+		res.Sharding = nil
+		js, err := json.Marshal(&res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, sh
+	}
+
+	serial, shSerial := strip([]string{"-sessions", "2", "-dur", "5", "-json", "-shards", "1"})
+	sharded, shSharded := strip([]string{"-sessions", "2", "-dur", "5", "-json", "-shards", "2"})
+	if !bytes.Equal(serial, sharded) {
+		t.Errorf("-shards 2 changed the Result:\nserial:  %s\nsharded: %s", serial, sharded)
+	}
+	if shSerial == nil || shSerial.Shards != 1 {
+		t.Errorf("serial sharding block = %+v, want shards=1", shSerial)
+	}
+	if shSharded == nil || shSharded.Shards != 2 || shSharded.MigratedHosts == 0 || shSharded.Windows == 0 {
+		t.Errorf("sharded sharding block = %+v, want shards=2 with migrated hosts and windows", shSharded)
+	}
+}
+
 // The fuzz subcommand: a small clean corpus exits zero with a parseable
 // JSON summary, and a failing repro replays with a nonzero outcome.
 func TestFuzzSmokeAndSummary(t *testing.T) {

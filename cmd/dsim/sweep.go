@@ -35,11 +35,15 @@ func runSweep(args []string, out io.Writer) error {
 	warmup := fs.Float64("warmup", 0, "seconds excluded from statistics (0 = dur/10)")
 	attackAt := fs.Float64("attack", 0, "seconds until attackers inflate (0 = dur/4)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per CPU)")
+	shards := fs.Int("shards", 0, "parallel shards inside each static grid point (0 or 1 = serial; dynamic points always run serial; results are identical)")
 	jsonOut := fs.Bool("json", false, "emit the CampaignResult as JSON")
 	csvOut := fs.Bool("csv", false, "emit the CampaignResult as CSV")
 	list := fs.Bool("list", false, "list canned campaigns and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative (0 = serial), got %d", *shards)
 	}
 
 	if *list {
@@ -85,6 +89,7 @@ func runSweep(args []string, out io.Writer) error {
 		}
 	}
 
+	sw.Shards = *shards
 	res, err := sw.Run(*workers)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"deltasigma/internal/mcast"
 	"deltasigma/internal/packet"
 	"deltasigma/internal/sigma"
+	"deltasigma/internal/sim"
 )
 
 // sessionSpacing is the minimum gap between session group address blocks;
@@ -64,6 +65,18 @@ type Experiment struct {
 	timeline dynamics.Timeline
 	churns   []*dynamics.Churn
 
+	// Sharded execution (WithShards; see shard.go): the group is non-nil
+	// when the run partitions across per-core schedulers, shardWant records
+	// the resolved request for reporting, and shardFallback says why a
+	// requested sharded run executes serially.
+	shardGroup    *sim.ShardGroup
+	shardWant     int
+	shardAuto     bool
+	shardSeen     int
+	shardNext     int
+	shardMigrated int
+	shardFallback string
+
 	controllers []*sigma.Controller
 }
 
@@ -114,6 +127,7 @@ func New(opts ...Option) (*Experiment, error) {
 	if s.audit.enabled {
 		e.audit = newAudit(e, s.audit)
 	}
+	e.setupShards(&s)
 	return e, nil
 }
 
@@ -168,6 +182,7 @@ type Receiver struct {
 	atk   Inflater // nil for well-behaved receivers
 
 	exp     *Experiment
+	host    *Host
 	session int
 	index   int
 	startAt Time
@@ -240,6 +255,15 @@ func (r *Receiver) Unwrap() any {
 		return u.Unwrap()
 	}
 	return r.agent
+}
+
+// sched returns the scheduler the receiver's host lives on (its shard
+// under sharded execution), defaulting to the experiment's main scheduler.
+func (r *Receiver) sched(main *sim.Scheduler) *sim.Scheduler {
+	if r.host != nil {
+		return r.host.Scheduler()
+	}
+	return main
 }
 
 // Label names the receiver in results: S<session>R<index>, with an
@@ -315,8 +339,11 @@ func (s *ExperimentSession) AddReceiverDelay(delay Time) *Receiver {
 // Star.AttachReceiverAt) for non-default placement.
 func (s *ExperimentSession) AddReceiverAt(port Port) *Receiver {
 	s.exp.mustNotHaveStarted("AddReceiver")
+	// Migration must precede agent construction: agents capture the host's
+	// scheduler, so the host has to be on its final shard first.
+	s.exp.maybeMigrate(port.Host)
 	agent := s.exp.Protocol.NewReceiver(port.Host, s.Sess, port.Edge.Addr())
-	return s.wrap(agent)
+	return s.wrap(agent, port.Host)
 }
 
 // AddAttacker attaches an inflated-subscription attacker at the topology's
@@ -329,17 +356,19 @@ func (s *ExperimentSession) AddAttacker() *Receiver {
 // AddAttackerAt attaches an attacker at an explicit port.
 func (s *ExperimentSession) AddAttackerAt(port Port) *Receiver {
 	s.exp.mustNotHaveStarted("AddAttacker")
+	s.exp.maybeMigrate(port.Host)
 	agent, err := s.exp.Protocol.NewAttacker(port.Host, s.Sess, port.Edge.Addr(), s.exp.Topo.Rand().Fork())
 	if err != nil {
 		panic(err)
 	}
-	return s.wrap(agent)
+	return s.wrap(agent, port.Host)
 }
 
-func (s *ExperimentSession) wrap(agent ReceiverAgent) *Receiver {
+func (s *ExperimentSession) wrap(agent ReceiverAgent, host *Host) *Receiver {
 	r := &Receiver{
 		agent:   agent,
 		exp:     s.exp,
+		host:    host,
 		session: s.index,
 		index:   len(s.Receivers) + 1,
 	}
@@ -397,16 +426,21 @@ func (e *Experiment) Start() {
 		// batches behind one event instead of one timer each: they start
 		// in attach order, which is exactly the order their individual
 		// events would have fired — they were scheduled consecutively, so
-		// their tie-break seqs were adjacent.
+		// their tie-break seqs were adjacent. Under sharded execution each
+		// receiver starts on its own host's scheduler, so batches are keyed
+		// on (start time, scheduler); receivers on distinct shards touch
+		// disjoint state, and their cross-shard effects merge in attach
+		// order through the cut edges.
 		var batch []*Receiver
 		var batchAt Time
+		var batchSched *sim.Scheduler
 		flush := func() {
 			if len(batch) == 0 {
 				return
 			}
-			b := batch
+			b, on := batch, batchSched
 			batch = nil
-			sched.At(batchAt, func() {
+			on.At(batchAt, func() {
 				for _, r := range b {
 					r.Start()
 				}
@@ -416,10 +450,11 @@ func (e *Experiment) Start() {
 			if r.manual {
 				continue // joins only by timeline event or explicit Start
 			}
-			if len(batch) > 0 && r.startAt != batchAt {
+			rs := r.sched(sched)
+			if len(batch) > 0 && (r.startAt != batchAt || rs != batchSched) {
 				flush()
 			}
-			batchAt = r.startAt
+			batchAt, batchSched = r.startAt, rs
 			batch = append(batch, r)
 		}
 		flush()
@@ -469,6 +504,12 @@ func (e *Experiment) Now() Time { return e.Topo.Scheduler().Now() }
 func (e *Experiment) Advance(until Time) {
 	e.Start()
 	if until < e.Now() {
+		return
+	}
+	if e.shardsActive() {
+		// Conservative-window parallel execution across the shard group;
+		// results are byte-identical to the serial path below.
+		e.shardGroup.RunUntil(until)
 		return
 	}
 	e.Topo.Scheduler().RunUntil(until)

@@ -162,15 +162,17 @@ func (s *Sender) runSlot(slot uint32) {
 
 	// Schedule the slot's packets, evenly spaced per group with a deter-
 	// ministic per-packet jitter to avoid cross-group phase locking.
+	// Headers come from the pool's typed freelist: after the first few
+	// slots the loop allocates nothing.
 	slotStart := s.Sess.SlotStart(slot)
+	pool := s.host.Network().Pool()
 	for g := 1; g <= n; g++ {
 		cnt := counts[g-1]
 		spacing := s.Sess.SlotDur / sim.Time(cnt)
 		for j := 1; j <= cnt; j++ {
-			hdr := &packet.FLIDHeader{
-				Session: s.Sess.ID, Group: uint8(g), Slot: slot,
-				Seq: uint16(j), Count: uint16(cnt), IncreaseTo: uint8(inc),
-			}
+			hdr := pool.FLIDHeader()
+			hdr.Session, hdr.Group, hdr.Slot = s.Sess.ID, uint8(g), slot
+			hdr.Seq, hdr.Count, hdr.IncreaseTo = uint16(j), uint16(cnt), uint8(inc)
 			if ds != nil {
 				comp, dec := ds.Fields(g)
 				hdr.HasDelta = true
@@ -182,7 +184,7 @@ func (s *Sender) runSlot(slot uint32) {
 				at = sched.Now()
 			}
 			pkt := s.host.Network().NewPacket(s.host.Addr(), s.Sess.GroupAddr(g), s.Sess.PacketSize, hdr)
-			s.emitters[g-1].push(pkt, at, sched.ReserveSeq())
+			s.emitters[g-1].push(pkt, at, sched.Reserve())
 		}
 	}
 
@@ -193,8 +195,8 @@ func (s *Sender) runSlot(slot uint32) {
 // reusable timer and a FIFO ring (the netsim.Link flight-ring pattern):
 // per-packet jitter never exceeds half the intra-group spacing, so a
 // group's emission times are strictly increasing and a FIFO suffices.
-// Each packet's tie-break seq is reserved at queue time and fired via
-// ResetReserved, so every emission happens at exactly the (time, seq) an
+// Each packet's tie-break reservation is made at queue time and fired via
+// ResetReserved, so every emission happens at exactly the (time, key) an
 // individually scheduled closure would have used — without allocating a
 // closure and an event per packet.
 type groupEmitter struct {
@@ -208,19 +210,19 @@ type groupEmitter struct {
 type emission struct {
 	pkt *packet.Packet
 	at  sim.Time
-	seq uint64
+	res sim.Reservation
 }
 
-func (e *groupEmitter) push(pkt *packet.Packet, at sim.Time, seq uint64) {
+func (e *groupEmitter) push(pkt *packet.Packet, at sim.Time, res sim.Reservation) {
 	if e.head == len(e.ring) {
 		// Fully drained (every slot drains before the next is scheduled):
 		// rewind so the backing array is reused instead of creeping.
 		e.ring = e.ring[:0]
 		e.head = 0
 	}
-	e.ring = append(e.ring, emission{pkt: pkt, at: at, seq: seq})
+	e.ring = append(e.ring, emission{pkt: pkt, at: at, res: res})
 	if len(e.ring)-e.head == 1 {
-		e.timer.ResetReserved(at, seq)
+		e.timer.ResetReserved(at, res)
 	}
 }
 
@@ -235,7 +237,7 @@ func (e *groupEmitter) fire() {
 	s.host.Send(em.pkt)
 	if e.head < len(e.ring) {
 		next := e.ring[e.head]
-		e.timer.ResetReserved(next.at, next.seq)
+		e.timer.ResetReserved(next.at, next.res)
 	}
 }
 

@@ -35,6 +35,12 @@ type Fabric struct {
 	refs    map[packet.Addr]map[*netsim.Link]int // group → link → edge count
 	grafts  map[graftKey]*graftState
 
+	// version counts tree mutations (graft applications and prune
+	// deactivations). Routers stamp their per-group forward caches with it
+	// and rebuild on mismatch, so the per-packet replication path probes a
+	// cached slice instead of the refs maps.
+	version uint64
+
 	// Grafts counts graft operations (test observability).
 	Grafts uint64
 	// Prunes counts prune operations.
@@ -115,6 +121,7 @@ func (f *Fabric) Graft(group packet.Addr, edge netsim.NodeID) {
 		for _, l := range path {
 			r[l]++
 		}
+		f.version++
 	})
 }
 
@@ -141,6 +148,7 @@ func (f *Fabric) Prune(group packet.Addr, edge netsim.NodeID) {
 				r[l]--
 			}
 		}
+		f.version++
 	}
 	if f.PruneDelayPerPath > 0 {
 		f.net.Scheduler().After(f.PruneDelayPerPath, deactivate)
@@ -181,6 +189,10 @@ func (f *Fabric) ShouldForward(group packet.Addr, l *netsim.Link) bool {
 func (f *Fabric) ForwardSet(group packet.Addr) map[*netsim.Link]int {
 	return f.refs[group]
 }
+
+// Version reports the current tree-mutation counter; any change in any
+// group's forward set changes it.
+func (f *Fabric) Version() uint64 { return f.version }
 
 // ActiveLinks reports how many links currently carry the group, an
 // observability hook for tests.

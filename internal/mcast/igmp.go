@@ -14,6 +14,7 @@ import (
 type IGMP struct {
 	router  *Router
 	members map[packet.Addr]map[packet.Addr]bool // group → member host addrs
+	version uint64                               // membership-mutation counter
 
 	// Joins and Leaves count processed messages.
 	Joins, Leaves uint64
@@ -36,6 +37,11 @@ func (g *IGMP) Deliver(group, host packet.Addr) bool {
 func (g *IGMP) Entitled(group, host packet.Addr) bool {
 	return g.members[group][host]
 }
+
+// DeliverVersion reports the membership-mutation counter. Its presence
+// declares Deliver side-effect free, letting the router cache per-group
+// delivery lists until membership changes (see Router.fwdOf).
+func (g *IGMP) DeliverVersion() uint64 { return g.version }
 
 // Members reports the current member count of a group (test observability).
 func (g *IGMP) Members(group packet.Addr) int { return len(g.members[group]) }
@@ -60,6 +66,7 @@ func (g *IGMP) Control(pkt *packet.Packet, from packet.Addr) {
 		}
 		if !m[from] {
 			m[from] = true
+			g.version++
 			if len(m) == 1 {
 				g.router.Graft(hdr.Group)
 			}
@@ -69,6 +76,7 @@ func (g *IGMP) Control(pkt *packet.Packet, from packet.Addr) {
 		m := g.members[hdr.Group]
 		if m != nil && m[from] {
 			delete(m, from)
+			g.version++
 			if len(m) == 0 {
 				g.router.Prune(hdr.Group)
 			}
@@ -105,5 +113,5 @@ func (c *Client) Leave(group packet.Addr) {
 }
 
 func (c *Client) send(op packet.IGMPOp, group packet.Addr) {
-	c.host.Send(c.host.Network().NewPacket(c.host.Addr(), c.router, 0, &packet.IGMPHeader{Op: op, Group: group}))
+	c.host.Send(c.host.NewPacket(c.router, 0, &packet.IGMPHeader{Op: op, Group: group}))
 }

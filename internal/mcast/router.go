@@ -56,7 +56,20 @@ type Router struct {
 	// different packets). The slice also caches each interface's delivery
 	// link, saving a LinkBetween lookup per local delivery.
 	localOrder []localIf
+	localGen   uint64 // bumped by AttachLocal; invalidates cached indices
 	gate       Gatekeeper
+
+	// fwdDense memoizes, per group, the out-links to replicate on (stamped
+	// by the fabric's tree version) and — when the gatekeeper declares its
+	// Deliver side-effect free via DeliverVersion — the entitled local
+	// interfaces (stamped by the gatekeeper's membership version). The
+	// per-packet replication path then iterates two slices instead of
+	// probing the fabric's refs maps and re-asking the gatekeeper per
+	// interface. Sessions allocate contiguous group blocks just above
+	// MulticastBase, so the cache is a dense slice indexed by the group's
+	// offset; fwdWide catches any out-of-range stragglers.
+	fwdDense []*fwdEntry
+	fwdWide  map[packet.Addr]*fwdEntry
 
 	// ForwardedMcast counts multicast packets replicated downstream.
 	ForwardedMcast uint64
@@ -84,6 +97,20 @@ type localIf struct {
 	host *netsim.Host
 	link *netsim.Link
 }
+
+// fwdEntry is one group's cached forwarding decision.
+type fwdEntry struct {
+	fabricVer uint64
+	gateVer   uint64
+	localGen  uint64
+	hasLocals bool // locals slice is valid (versioned gatekeeper)
+	out       []*netsim.Link
+	locals    []int32 // indices into localOrder entitled to the group
+}
+
+// deliverVersioner marks a gatekeeper whose Deliver is side-effect free
+// and cacheable until the returned version changes.
+type deliverVersioner interface{ DeliverVersion() uint64 }
 
 // fbKey identifies one consolidation bucket.
 type fbKey struct {
@@ -142,6 +169,66 @@ func (r *Router) AttachLocal(h *netsim.Host) {
 	r.localOrder = append(r.localOrder, localIf{})
 	copy(r.localOrder[at+1:], r.localOrder[at:])
 	r.localOrder[at] = localIf{addr: addr, host: h}
+	r.localGen++
+}
+
+// fwdDenseMax bounds the dense forward-cache size; group offsets beyond it
+// (never produced by the session allocator) fall back to a map.
+const fwdDenseMax = 1 << 16
+
+// fwdOf returns the group's forward cache, rebuilding the stale halves.
+func (r *Router) fwdOf(group packet.Addr) *fwdEntry {
+	var e *fwdEntry
+	if off := int(group - packet.MulticastBase); off < fwdDenseMax {
+		if off < len(r.fwdDense) {
+			e = r.fwdDense[off]
+		}
+		if e == nil {
+			if off >= len(r.fwdDense) {
+				grown := make([]*fwdEntry, off+1)
+				copy(grown, r.fwdDense)
+				r.fwdDense = grown
+			}
+			e = &fwdEntry{fabricVer: ^uint64(0), gateVer: ^uint64(0)}
+			r.fwdDense[off] = e
+		}
+	} else {
+		e = r.fwdWide[group]
+		if e == nil {
+			if r.fwdWide == nil {
+				r.fwdWide = make(map[packet.Addr]*fwdEntry)
+			}
+			e = &fwdEntry{fabricVer: ^uint64(0), gateVer: ^uint64(0)}
+			r.fwdWide[group] = e
+		}
+	}
+	if fv := r.fabric.Version(); e.fabricVer != fv {
+		e.fabricVer = fv
+		e.out = e.out[:0]
+		if fwd := r.fabric.ForwardSet(group); len(fwd) > 0 {
+			for _, out := range r.net.OutLinks(r.id) {
+				if fwd[out] > 0 {
+					e.out = append(e.out, out)
+				}
+			}
+		}
+	}
+	if dv, ok := r.gate.(deliverVersioner); ok {
+		if gv := dv.DeliverVersion(); !e.hasLocals || e.gateVer != gv || e.localGen != r.localGen {
+			e.hasLocals = true
+			e.gateVer = gv
+			e.localGen = r.localGen
+			e.locals = e.locals[:0]
+			for i := range r.localOrder {
+				if r.gate.Deliver(group, r.localOrder[i].addr) {
+					e.locals = append(e.locals, int32(i))
+				}
+			}
+		}
+	} else {
+		e.hasLocals = false
+	}
+	return e
 }
 
 // Locals returns the attached local hosts keyed by address.
@@ -274,24 +361,20 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 
 	group := pkt.Dst
 
-	// Replicate downstream along the distribution tree. The group's
-	// forward set is resolved once; checking each out-link is then one
-	// pointer-keyed lookup instead of re-hashing the group address.
+	// Replicate downstream along the distribution tree, iterating the
+	// cached forward list — identical order to probing OutLinks against
+	// the fabric's forward set, which is how the cache is built.
 	var fromRev netsim.NodeID = -1
 	if from != nil {
 		fromRev = from.From().ID()
 	}
-	fwd := r.fabric.ForwardSet(group)
-	if len(fwd) > 0 {
-		for _, out := range r.net.OutLinks(r.id) {
-			if out.To().ID() == fromRev {
-				continue // never reflect back upstream
-			}
-			if fwd[out] > 0 {
-				out.Send(pkt.Retain())
-				r.ForwardedMcast++
-			}
+	c := r.fwdOf(group)
+	for _, out := range c.out {
+		if out.To().ID() == fromRev {
+			continue // never reflect back upstream
 		}
+		out.Send(pkt.Retain())
+		r.ForwardedMcast++
 	}
 
 	// Router-alert packets are intercepted by edge gatekeepers and never
@@ -306,22 +389,38 @@ func (r *Router) Receive(pkt *packet.Packet, from *netsim.Link) {
 
 	// Local delivery, subject to the gatekeeper, in sorted address order.
 	transformer, _ := r.gate.(LocalTransformer)
+	if c.hasLocals {
+		// Versioned gatekeeper: the entitled-interface list is cached in
+		// the same sorted order the fallback loop walks.
+		for _, idx := range c.locals {
+			r.deliverLocal(pkt, &r.localOrder[idx], transformer)
+		}
+		pkt.Release()
+		return
+	}
 	for i := range r.localOrder {
 		li := &r.localOrder[i]
 		if r.gate == nil || !r.gate.Deliver(group, li.addr) {
 			continue
 		}
-		if li.link == nil {
-			li.link = r.net.LinkBetween(r.id, li.host.ID())
-		}
-		if li.link != nil {
-			out := pkt.Retain()
-			if transformer != nil {
-				out = transformer.TransformLocal(out, li.addr)
-			}
-			li.link.Send(out)
-			r.DeliveredLocal++
-		}
+		r.deliverLocal(pkt, li, transformer)
 	}
 	pkt.Release()
+}
+
+// deliverLocal pushes one retained reference onto a local interface,
+// applying the gatekeeper's transform when present.
+func (r *Router) deliverLocal(pkt *packet.Packet, li *localIf, transformer LocalTransformer) {
+	if li.link == nil {
+		li.link = r.net.LinkBetween(r.id, li.host.ID())
+		if li.link == nil {
+			return
+		}
+	}
+	out := pkt.Retain()
+	if transformer != nil {
+		out = transformer.TransformLocal(out, li.addr)
+	}
+	li.link.Send(out)
+	r.DeliveredLocal++
 }

@@ -67,13 +67,13 @@ func (q *Queue) pop() *packet.Packet {
 }
 
 // flight is one packet in propagation: serialization finished, delivery
-// pending at `at`. seq is the tie-break sequence reserved when the flight
+// pending at `at`. res is the tie-break reservation made when the flight
 // was created, so the single reusable delivery timer fires each flight
 // exactly where an individually scheduled event would have.
 type flight struct {
 	pkt *packet.Packet
 	at  sim.Time
-	seq uint64
+	res sim.Reservation
 }
 
 // Link is a unidirectional rate/delay pipe with an attached queue. A duplex
@@ -98,6 +98,7 @@ type Link struct {
 	txTimer      sim.Timer      // fires when cur finishes serializing
 	deliverTimer sim.Timer      // fires at the head flight's delivery time
 	flights      ring[flight]   // FIFO of packets in propagation
+	cut          *cutPort       // non-nil when this link crosses a shard boundary
 
 	// capBits integrates available capacity — Rate while up, zero while
 	// down — in bits from time zero to lastAccrue, so utilization stays
@@ -192,11 +193,22 @@ func (l *Link) onTxDone() {
 	pkt := l.cur
 	l.cur = nil
 	l.SentBytes += uint64(pkt.Size)
-	f := flight{pkt: pkt, at: l.sched.Now() + l.Delay, seq: l.sched.ReserveSeq()}
+	if l.cut != nil {
+		// Cross-shard propagation: the packet leaves this shard. Park the
+		// original for the barrier hand-off and post the delivery into the
+		// destination shard at the usual arrival time — the link's delay is
+		// the cut's lookahead, so the post always satisfies the conservative
+		// contract exactly.
+		l.cut.xfer.push(pkt)
+		l.cut.edge.Post(l.sched.Now()+l.Delay, l.cut.deliver)
+		l.startTransmission()
+		return
+	}
+	f := flight{pkt: pkt, at: l.sched.Now() + l.Delay, res: l.sched.Reserve()}
 	wasEmpty := l.flights.len() == 0
 	l.flights.push(f)
 	if wasEmpty {
-		l.deliverTimer.ResetReserved(f.at, f.seq)
+		l.deliverTimer.ResetReserved(f.at, f.res)
 	}
 	l.startTransmission()
 }
@@ -219,7 +231,7 @@ func (l *Link) onDeliver() {
 			// as soon as the older one is out rather than rewinding time.
 			at = l.sched.Now()
 		}
-		l.deliverTimer.ResetReserved(at, next.seq)
+		l.deliverTimer.ResetReserved(at, next.res)
 	}
 }
 
@@ -260,6 +272,7 @@ func (l *Link) SetRate(rate int64) {
 	if rate <= 0 {
 		panic(fmt.Sprintf("netsim: SetRate(%d) on %s must be positive", rate, l))
 	}
+	l.guardCut("SetRate")
 	l.accrue()
 	l.Rate = rate
 	l.RateChanges++
@@ -273,12 +286,20 @@ func (l *Link) SetDelay(d sim.Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("netsim: SetDelay(%v) on %s is negative", d, l))
 	}
+	l.guardCut("SetDelay")
 	l.Delay = d
 }
 
 // InFlight reports how many packets are in propagation (serialization
-// finished, delivery pending) — an audit observability hook.
-func (l *Link) InFlight() int { return l.flights.len() }
+// finished, delivery pending) — an audit observability hook. On a cut link
+// the propagating packets sit in the hand-off rings instead of the flight
+// FIFO: originals awaiting the barrier copy plus copies awaiting delivery.
+func (l *Link) InFlight() int {
+	if l.cut != nil {
+		return l.cut.xfer.len() + l.cut.handoff.len()
+	}
+	return l.flights.len()
+}
 
 // Serializing reports whether a packet is currently being serialized.
 func (l *Link) Serializing() bool { return l.cur != nil }
@@ -295,6 +316,7 @@ func (l *Link) Down() {
 	if l.down {
 		return
 	}
+	l.guardCut("Down")
 	l.accrue() // capacity counted up to the outage instant
 	l.down = true
 	l.txTimer.Stop()

@@ -29,6 +29,10 @@ type Network struct {
 	nextAddr packet.Addr
 	nextHop  [][]*Link // nextHop[from][dstNode]; nil = unreachable
 	uid      uint64
+
+	// shard is non-nil when the network executes across a ShardGroup; see
+	// shard.go.
+	shard *shardState
 }
 
 // New creates an empty network driven by sched, drawing any randomness from

@@ -35,8 +35,16 @@ type Host struct {
 	name     string
 	addr     packet.Addr
 	net      *Network
+	access   *Link // cached single outgoing link (hosts are single-homed)
 	handlers [16]Handler
 	anyProto Handler
+
+	// Sharded execution: a migrated host runs its agents on its shard's
+	// scheduler and mints from its shard's pool. Zero values mean the host
+	// lives on the network's main scheduler/pool (shard 0).
+	sched *sim.Scheduler
+	pool  *packet.Pool
+	shard int
 
 	// Received counts packets delivered to this host, by protocol.
 	Received [16]uint64
@@ -83,12 +91,40 @@ func (h *Host) Receive(pkt *packet.Packet, from *Link) {
 // experiment). Multicast destinations are handed to the access router too:
 // group delivery is the router's job.
 func (h *Host) Send(pkt *packet.Packet) {
-	link := h.net.accessLink(h.id)
+	link := h.access
 	if link == nil {
-		panic(fmt.Sprintf("netsim: host %s has no access link", h.name))
+		link = h.net.accessLink(h.id)
+		if link == nil {
+			panic(fmt.Sprintf("netsim: host %s has no access link", h.name))
+		}
+		h.access = link // links are never removed; the first out-link is stable
 	}
 	link.Send(pkt)
 }
 
-// Scheduler exposes the simulation clock to agents running on the host.
-func (h *Host) Scheduler() *sim.Scheduler { return h.net.sched }
+// Scheduler exposes the simulation clock to agents running on the host —
+// the host's shard scheduler when the experiment is sharded, the network's
+// main scheduler otherwise. Agents must capture it after any migration
+// (experiments migrate hosts before constructing agents).
+func (h *Host) Scheduler() *sim.Scheduler {
+	if h.sched != nil {
+		return h.sched
+	}
+	return h.net.sched
+}
+
+// Shard reports which shard the host runs on (0 unless migrated).
+func (h *Host) Shard() int { return h.shard }
+
+// NewPacket mints a packet originated by this host, drawing from the
+// host's shard pool so agents on migrated hosts never touch the shared
+// pool mid-run. Agents that run on hosts (protocol receivers, membership
+// clients) must mint through this instead of Network.NewPacket.
+func (h *Host) NewPacket(dst packet.Addr, size int, hdr packet.Header) *packet.Packet {
+	if h.pool == nil {
+		return h.net.NewPacket(h.addr, dst, size, hdr)
+	}
+	p := h.pool.Get(h.addr, dst, size, hdr)
+	p.UID = h.net.shardUID(h.shard)
+	return p
+}

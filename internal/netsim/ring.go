@@ -17,7 +17,9 @@ func (r *ring[T]) len() int { return r.count }
 // the no-growth-when-busy regression).
 func (r *ring[T]) capacity() int { return len(r.buf) }
 
-// push appends v, doubling (and unwrapping) the buffer when full.
+// push appends v, doubling (and unwrapping) the buffer when full. The
+// capacity is always a power of two (it starts at 8 and doubles), so index
+// wrapping is a mask, not a division — push/pop sit on the per-packet path.
 func (r *ring[T]) push(v T) {
 	if r.count == len(r.buf) {
 		n := 2 * len(r.buf)
@@ -26,12 +28,12 @@ func (r *ring[T]) push(v T) {
 		}
 		next := make([]T, n)
 		for i := 0; i < r.count; i++ {
-			next[i] = r.buf[(r.head+i)%len(r.buf)]
+			next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}
 		r.buf = next
 		r.head = 0
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = v
 	r.count++
 }
 
@@ -44,7 +46,7 @@ func (r *ring[T]) pop() T {
 	}
 	v := r.buf[r.head]
 	r.buf[r.head] = zero
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.count--
 	return v
 }

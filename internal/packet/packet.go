@@ -125,7 +125,23 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.refs = 1
 	q.pool = nil
+	q.Header = cloneHeaderHeap(p.Header)
 	return &q
+}
+
+// cloneHeaderHeap copies a pool-recyclable header onto the GC heap so an
+// un-pooled copy never aliases a header the original's Release will recycle.
+// Non-recyclable headers remain shared (immutable by convention).
+func cloneHeaderHeap(h Header) Header {
+	switch t := h.(type) {
+	case *FLIDHeader:
+		c := *t
+		return &c
+	case *TCPHeader:
+		c := *t
+		return &c
+	}
+	return h
 }
 
 // String summarizes the packet for traces.

@@ -65,15 +65,25 @@ func TestNewSizesUpToHeaders(t *testing.T) {
 	}
 }
 
-func TestCloneIsShallowCopy(t *testing.T) {
+func TestCloneIsIndependentCopy(t *testing.T) {
 	p := New(1, 2, 576, &FLIDHeader{Group: 3})
 	q := p.Clone()
 	q.ECN = true
 	if p.ECN {
 		t.Fatal("clone mutation leaked into original")
 	}
-	if q.Header != p.Header {
-		t.Fatal("clone should share the header")
+	// Recyclable headers are copied by value: the clone must not alias a
+	// header that the original's pool lifecycle may recycle.
+	if q.Header == p.Header {
+		t.Fatal("clone should deep-copy a recyclable header")
+	}
+	if *(q.Header.(*FLIDHeader)) != *(p.Header.(*FLIDHeader)) {
+		t.Fatal("cloned header differs in value")
+	}
+	// Non-recyclable headers stay shared (immutable by convention).
+	s := New(1, 2, 100, &SigmaHeader{})
+	if c := s.Clone(); c.Header != s.Header {
+		t.Fatal("non-recyclable header should stay shared")
 	}
 }
 

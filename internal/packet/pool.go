@@ -20,11 +20,64 @@ package packet
 type Pool struct {
 	free []*Packet
 
+	// Typed header freelists. FLID and TCP data packets dominate steady
+	// state and each carries a fresh header, so the pool recycles those two
+	// header types alongside envelopes. A recyclable header's lifetime is
+	// tied 1:1 to its envelope: the final Release parks it, and Writable's
+	// copy-on-write branch clones it so two envelopes never share one.
+	flidFree []*FLIDHeader
+	tcpFree  []*TCPHeader
+
 	// Issued counts packets handed out (fresh or recycled); Recycled counts
 	// envelopes returned to the freelist; Fresh counts heap allocations.
 	Issued   uint64
 	Recycled uint64
 	Fresh    uint64
+}
+
+// FLIDHeader returns a zeroed FLID header, recycled when possible. The
+// header must be installed on a packet built from this pool; the packet's
+// final Release returns it to the freelist.
+func (pl *Pool) FLIDHeader() *FLIDHeader {
+	if n := len(pl.flidFree); n > 0 {
+		h := pl.flidFree[n-1]
+		pl.flidFree[n-1] = nil
+		pl.flidFree = pl.flidFree[:n-1]
+		*h = FLIDHeader{}
+		return h
+	}
+	return &FLIDHeader{}
+}
+
+// TCPHeader returns a zeroed TCP header, recycled when possible, under the
+// same lifecycle as FLIDHeader.
+func (pl *Pool) TCPHeader() *TCPHeader {
+	if n := len(pl.tcpFree); n > 0 {
+		h := pl.tcpFree[n-1]
+		pl.tcpFree[n-1] = nil
+		pl.tcpFree = pl.tcpFree[:n-1]
+		*h = TCPHeader{}
+		return h
+	}
+	return &TCPHeader{}
+}
+
+// cloneHeader copies a recyclable header through the pool freelists so the
+// copy-on-write path never leaves two envelopes pointing at one recyclable
+// header (which the two final Releases would then park twice). Other header
+// types stay shared — they are immutable and GC-owned.
+func (pl *Pool) cloneHeader(h Header) Header {
+	switch t := h.(type) {
+	case *FLIDHeader:
+		c := pl.FLIDHeader()
+		*c = *t
+		return c
+	case *TCPHeader:
+		c := pl.TCPHeader()
+		*c = *t
+		return c
+	}
+	return h
 }
 
 // envelope pops a recycled envelope (or heap-allocates a fresh one) and
@@ -50,6 +103,23 @@ func (pl *Pool) Get(src, dst Addr, size int, hdr Header) *Packet {
 	*p = Packet{pool: pl}
 	p.init(src, dst, size, hdr)
 	return p
+}
+
+// AdoptCopy duplicates p into an envelope owned by this pool and returns
+// the copy with one reference. Recyclable headers (FLID, TCP) are cloned
+// through this pool's freelists so the copy's final Release parks them
+// here; other header types are immutable and stay shared. This is the
+// cross-shard hand-off primitive: a packet crossing a shard boundary is
+// copied into the destination shard's pool at a quiescent point, and the
+// original is released back to its own pool — each pool's balance closes
+// independently.
+func (pl *Pool) AdoptCopy(p *Packet) *Packet {
+	q := pl.envelope()
+	*q = *p
+	q.pool = pl
+	q.refs = 1
+	q.Header = pl.cloneHeader(p.Header)
+	return q
 }
 
 // Outstanding reports how many issued packets have not been released back —
@@ -84,6 +154,12 @@ func (p *Packet) Release() {
 	}
 	pl := p.pool
 	pl.Recycled++
+	switch h := p.Header.(type) {
+	case *FLIDHeader:
+		pl.flidFree = append(pl.flidFree, h)
+	case *TCPHeader:
+		pl.tcpFree = append(pl.tcpFree, h)
+	}
 	p.Header = nil // drop the header reference while parked
 	pl.free = append(pl.free, p)
 }
@@ -105,9 +181,11 @@ func (p *Packet) Writable() *Packet {
 	if pl := p.pool; pl != nil {
 		q = pl.envelope()
 		*q = *p
+		q.Header = pl.cloneHeader(p.Header)
 	} else {
 		c := *p
 		q = &c
+		q.Header = cloneHeaderHeap(p.Header)
 	}
 	q.refs = 1
 	p.Release()

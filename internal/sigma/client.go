@@ -65,7 +65,7 @@ func (c *Client) onSigma(pkt *packet.Packet) {
 
 // send mints a pooled message and transmits it, fire-and-forget.
 func (c *Client) send(hdr *packet.SigmaHeader) {
-	c.host.Send(c.host.Network().NewPacket(c.host.Addr(), c.router, 0, hdr))
+	c.host.Send(c.host.NewPacket(c.router, 0, hdr))
 }
 
 // SessionJoin asks for keyless admission into the session via its minimal
@@ -83,7 +83,7 @@ func (c *Client) Subscribe(slot uint32, pairs []packet.AddrKey) uint32 {
 	c.nextID++
 	id := c.nextID
 	hdr := &packet.SigmaHeader{Kind: packet.SigmaSubscribe, Slot: slot, AckID: id, Pairs: pairs}
-	pkt := c.host.Network().NewPacket(c.host.Addr(), c.router, 0, hdr)
+	pkt := c.host.NewPacket(c.router, 0, hdr)
 	p := &pendingSub{pkt: pkt.Retain(), tries: 1}
 	c.host.Send(pkt)
 	c.pending[id] = p

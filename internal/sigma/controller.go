@@ -49,13 +49,69 @@ func (s storedKeys) matches(k keys.Key) bool {
 	return k == s.top || (s.hasDec && k == s.dec) || (s.hasInc && k == s.inc)
 }
 
-// grant is the per-interface, per-group access state.
+// grant is the per-interface, per-group access state. The slots a valid key
+// was presented for live in a 32-slot window bitmask anchored at slotBase:
+// keys are only ever granted for the current or upcoming slots and expire
+// every tick, so live slot numbers span at most a few slots — a mask makes
+// the per-packet Deliver probe bit arithmetic instead of a map access, and
+// grants allocate nothing beyond their own struct.
 type grant struct {
-	slots        map[uint32]bool // slot numbers a valid key was presented for
-	graceUntil   sim.Time        // unconditional forwarding window
-	pendingGrace bool            // start the grace window at first delivery
-	probation    bool            // admitted keyless via session-join
-	penaltyUntil sim.Time        // forwarding stopped until then
+	slotBase     uint32   // slot number of bit 0 of slotMask
+	slotMask     uint32   // bit i set: a valid key was presented for slotBase+i
+	graceUntil   sim.Time // unconditional forwarding window
+	pendingGrace bool     // start the grace window at first delivery
+	probation    bool     // admitted keyless via session-join
+	penaltyUntil sim.Time // forwarding stopped until then
+}
+
+// setSlot records a valid key presentation for slot s.
+func (g *grant) setSlot(s uint32) {
+	if g.slotMask == 0 {
+		g.slotBase, g.slotMask = s, 1
+		return
+	}
+	if s < g.slotBase {
+		d := g.slotBase - s
+		if d >= 32 {
+			// A grant more than a window behind the anchor; the anchored
+			// slots would long since have expired — restart the window.
+			g.slotBase, g.slotMask = s, 1
+			return
+		}
+		g.slotMask = g.slotMask<<d | 1
+		g.slotBase = s
+		return
+	}
+	d := s - g.slotBase
+	if d >= 32 {
+		// Slide the window forward. The bits shifted out are ≥32 slots
+		// older than the new grant and therefore already expired (expire
+		// runs every slot tick).
+		shift := d - 31
+		g.slotMask >>= shift
+		g.slotBase += shift
+		d = 31
+	}
+	g.slotMask |= 1 << d
+}
+
+// expireBefore drops every slot older than cur.
+func (g *grant) expireBefore(cur uint32) {
+	if g.slotMask == 0 || cur <= g.slotBase {
+		return
+	}
+	d := cur - g.slotBase
+	if d >= 32 {
+		g.slotMask = 0
+	} else {
+		g.slotMask >>= d
+	}
+	g.slotBase = cur
+}
+
+// hasSlot reports whether a valid key was presented for slot s.
+func (g *grant) hasSlot(s uint32) bool {
+	return s >= g.slotBase && s-g.slotBase < 32 && g.slotMask>>(s-g.slotBase)&1 == 1
 }
 
 // iface is the state of one local interface (one attached receiver host).
@@ -76,8 +132,9 @@ type Controller struct {
 	store     map[packet.Addr]map[uint32]storedKeys
 	ifaces    map[packet.Addr]*iface
 	grafted   map[packet.Addr]bool
-	seen      map[[2]uint64]bool // announce dedup: (session<<32|slot, fecIndex)
-	tickTimer *sim.Timer         // reusable per-slot housekeeping timer
+	seen      map[[2]uint64]bool   // announce dedup: (session<<32|slot, fecIndex)
+	tickTimer *sim.Timer           // reusable per-slot housekeeping timer
+	inUse     map[packet.Addr]bool // tick scratch, cleared and reused each slot
 
 	// alter, when non-nil, applies §4.2 interface keying; see keying.go.
 	alter *InterfaceKeying
@@ -165,14 +222,14 @@ func (c *Controller) tick() {
 	}
 
 	// Expire grants and decide prunes.
-	inUse := make(map[packet.Addr]bool)
+	if c.inUse == nil {
+		c.inUse = make(map[packet.Addr]bool)
+	}
+	clear(c.inUse)
+	inUse := c.inUse
 	for _, ifc := range c.ifaces {
 		for group, g := range ifc.grants {
-			for s := range g.slots {
-				if s < cur {
-					delete(g.slots, s)
-				}
-			}
+			g.expireBefore(cur)
 			if g.probation && g.graceUntil <= now && g.graceUntil != 0 {
 				// Keyless session-join grace expired: stop forwarding for
 				// at least PenaltySlots (§3.2.2).
@@ -180,7 +237,7 @@ func (c *Controller) tick() {
 				g.graceUntil = 0
 				g.penaltyUntil = now + sim.Time(c.cfg.PenaltySlots)*c.cfg.SlotDuration
 			}
-			active := g.graceUntil > now || g.pendingGrace || len(g.slots) > 0
+			active := g.graceUntil > now || g.pendingGrace || g.slotMask != 0
 			if active {
 				inUse[group] = true
 			} else if g.penaltyUntil <= now {
@@ -221,7 +278,7 @@ func (c *Controller) ifaceFor(host packet.Addr) *iface {
 func (c *Controller) grantFor(ifc *iface, group packet.Addr) *grant {
 	g := ifc.grants[group]
 	if g == nil {
-		g = &grant{slots: make(map[uint32]bool)}
+		g = &grant{}
 		ifc.grants[group] = g
 	}
 	return g
@@ -304,7 +361,7 @@ func (c *Controller) sessionJoin(from packet.Addr, hdr *packet.SigmaHeader) {
 	if now < g.penaltyUntil {
 		return // abusers wait the penalty out
 	}
-	if g.graceUntil > now || len(g.slots) > 0 {
+	if g.graceUntil > now || g.slotMask != 0 {
 		return // already admitted; do not extend
 	}
 	g.probation = true
@@ -344,8 +401,8 @@ func (c *Controller) subscribe(from packet.Addr, hdr *packet.SigmaHeader) {
 			if c.sched.Now() < g.penaltyUntil {
 				continue
 			}
-			hadAccess := len(g.slots) > 0 || g.graceUntil > c.sched.Now() || g.pendingGrace
-			g.slots[hdr.Slot] = true
+			hadAccess := g.slotMask != 0 || g.graceUntil > c.sched.Now() || g.pendingGrace
+			g.setSlot(hdr.Slot)
 			g.probation = false
 			if !hadAccess {
 				// Newly granted group: once its packets start arriving,
@@ -378,7 +435,7 @@ func (c *Controller) unsubscribe(from packet.Addr, hdr *packet.SigmaHeader) {
 		stillUsed := false
 		for _, other := range c.ifaces {
 			if g := other.grants[addr]; g != nil {
-				if g.graceUntil > c.sched.Now() || g.pendingGrace || len(g.slots) > 0 {
+				if g.graceUntil > c.sched.Now() || g.pendingGrace || g.slotMask != 0 {
 					stillUsed = true
 					break
 				}
@@ -412,7 +469,7 @@ func (c *Controller) Deliver(group, host packet.Addr) bool {
 	if now < g.graceUntil {
 		return true
 	}
-	return g.slots[c.CurrentSlot()]
+	return g.hasSlot(c.CurrentSlot())
 }
 
 // Entitled implements mcast.EntitlementReader: the same decision Deliver
@@ -435,7 +492,7 @@ func (c *Controller) Entitled(group, host packet.Addr) bool {
 	if g.pendingGrace || now < g.graceUntil {
 		return true
 	}
-	return g.slots[c.CurrentSlot()]
+	return g.hasSlot(c.CurrentSlot())
 }
 
 // GuessCount reports how many distinct invalid keys host has submitted for

@@ -11,6 +11,11 @@ package sim
 // where the previous container/heap implementation paid O(log n) pointer
 // sifts (heap.Pop/Push were >55% of the Fig01/Fig07 CPU profile).
 //
+// Buckets store (at, seq) inline next to the event pointer: the minimum
+// scan — the hottest loop in the whole simulator — walks contiguous
+// entries and never dereferences an event, so it runs at cache speed
+// regardless of where the freelist scattered the event objects.
+//
 // Ordering is exactly the heap's: strict (at, seq) order. All events whose
 // timestamp falls inside the cursor's day live in the cursor's bucket, so
 // the in-bucket minimum by (at, seq) is the global minimum; ties at equal
@@ -24,25 +29,40 @@ package sim
 // grown; bucket capacity persists, so steady state inserts allocate
 // nothing. The day width self-tunes instead: it is seeded from the
 // observed mean inter-event spacing whenever the calendar grows, then
-// corrected by a feedback loop measuring where peek actually spends its
-// steps — many events examined per day means days are too wide (halve),
-// many empty days walked means days are too narrow (double). Retuning
-// refiles events through a reusable scratch buffer in place.
+// corrected by a feedback loop measuring where the minimum scan actually
+// spends its steps — many events examined per day means days are too wide
+// (halve), many empty days walked means days are too narrow (double).
+// Retuning refiles events through a reusable scratch buffer in place.
 const (
-	calMinBuckets   = 64
-	calInitialWidth = Millisecond
-	// The feedback window: every calRetuneWindow peeks, compare the two
-	// step counters against calRetuneScan steps per peek and adjust the
+	calMinBuckets = 64
+	// calInitialShift makes the initial day width 2^20 ns (~1.05 ms). Day
+	// widths are always powers of two so filing an event is a shift and a
+	// mask, not a 64-bit division — place and the cursor math sit on the
+	// hottest path in the simulator.
+	calInitialShift = 20
+	// The feedback window: every calRetuneWindow pops, compare the two
+	// step counters against calRetuneScan steps per pop and adjust the
 	// day width when either kind of work dominates.
 	calRetuneWindow = 1024
 	calRetuneScan   = 8
 )
 
+// calEntry files one pending event with its ordering key inline. Ordering
+// is (at, akey, seq) — see the event type for why the middle component is
+// redundant in serial runs but load-bearing for sharded ones.
+type calEntry struct {
+	at   Time
+	akey Time
+	seq  uint64
+	e    *event
+}
+
 type calQueue struct {
-	buckets [][]*event
-	scratch []*event // reused by refile; never shrinks
-	mask    int      // len(buckets)-1; the bucket count is a power of two
-	width   Time     // day width: the span of virtual time one bucket covers
+	buckets [][]calEntry
+	scratch []calEntry // reused by refile; never shrinks
+	mask    int        // len(buckets)-1; the bucket count is a power of two
+	shift   uint       // log2 of the day width
+	width   Time       // day width (1<<shift): the span of virtual time one bucket covers
 	count   int
 	curBkt  int  // bucket under the cursor
 	curTop  Time // exclusive end of the day under the cursor
@@ -54,9 +74,10 @@ type calQueue struct {
 }
 
 func (q *calQueue) init() {
-	q.buckets = make([][]*event, calMinBuckets)
+	q.buckets = make([][]calEntry, calMinBuckets)
 	q.mask = calMinBuckets - 1
-	q.width = calInitialWidth
+	q.shift = calInitialShift
+	q.width = 1 << q.shift
 	q.curTop = q.width
 }
 
@@ -64,16 +85,16 @@ func (q *calQueue) init() {
 // (the scheduler panics on past scheduling before any event reaches the
 // queue, and the clock starts at zero).
 func (q *calQueue) place(e *event) {
-	day := uint64(e.at) / uint64(q.width)
+	day := uint64(e.at) >> q.shift
 	b := int(day) & q.mask
 	e.bkt = b
 	e.idx = len(q.buckets[b])
-	q.buckets[b] = append(q.buckets[b], e)
+	q.buckets[b] = append(q.buckets[b], calEntry{at: e.at, akey: e.akey, seq: e.seq, e: e})
 }
 
 func (q *calQueue) setCursor(day uint64) {
 	q.curBkt = int(day) & q.mask
-	q.curTop = Time(day+1) * q.width
+	q.curTop = Time(day+1) << q.shift
 }
 
 func (q *calQueue) insert(e *event) {
@@ -90,7 +111,7 @@ func (q *calQueue) insert(e *event) {
 		// empty, leaving the cursor parked wherever the last drain ended —
 		// so rewind to the new event's day. This preserves the scan
 		// invariant: no pending event's day precedes the cursor's day.
-		q.setCursor(uint64(e.at) / uint64(q.width))
+		q.setCursor(uint64(e.at) >> q.shift)
 	}
 }
 
@@ -102,53 +123,136 @@ func (q *calQueue) remove(e *event) {
 	last := len(arr) - 1
 	moved := arr[last]
 	arr[e.idx] = moved
-	moved.idx = e.idx
-	arr[last] = nil
+	moved.e.idx = e.idx
+	arr[last] = calEntry{}
 	q.buckets[e.bkt] = arr[:last]
 	e.idx = -1
 	q.count--
 }
 
-// peek returns the earliest pending event by (at, seq) without removing
-// it, or nil when the queue is empty. The cursor advances day by day past
-// empty days; a full cycle without a hit means every pending event is at
-// least one calendar year ahead, so peek falls back to a direct scan for
-// the global minimum and jumps the cursor to its day — sparse populations
-// therefore cost O(buckets) per pop instead of walking empty virtual time.
-func (q *calQueue) peek() *event {
-	if q.count == 0 {
-		return nil
-	}
+// pop removes and returns the earliest pending event by (at, seq). In
+// bounded mode an event past limit is left queued and pop returns nil —
+// the run loop's horizon check is fused into the scan. Callers must ensure
+// count > 0.
+//
+// The minimum scan and the swap-removal share one loop so the winning
+// bucket slice and index stay in registers: the cursor advances day by day
+// past empty days, and the first day holding an entry holds the global
+// minimum. A full cycle without a hit means every pending event is at
+// least one calendar year ahead, so pop falls back to a direct sweep for
+// the global minimum, jumps the cursor to its day, and retries — sparse
+// populations therefore cost O(buckets) per pop instead of walking empty
+// virtual time.
+func (q *calQueue) pop(bounded bool, limit Time) *event {
 	q.peeks++
 	for cycle := 0; cycle < len(q.buckets); cycle++ {
-		var best *event
-		for _, e := range q.buckets[q.curBkt] {
-			if e.at < q.curTop && (best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq)) {
-				best = e
+		arr := q.buckets[q.curBkt]
+		// Seeding bestAt with the day's exclusive end folds the "entry is on
+		// this day" bound into the ordinary best comparison: an entry at
+		// exactly curTop belongs to a later day and can never win the tie
+		// branches, because akeys are never negative and no uint64 seq
+		// is < 0.
+		best := -1
+		bestAt := q.curTop
+		var bestAkey Time
+		var bestSeq uint64
+		for i := range arr {
+			en := &arr[i]
+			if en.at < bestAt ||
+				(en.at == bestAt && (en.akey < bestAkey ||
+					(en.akey == bestAkey && en.seq < bestSeq))) {
+				best, bestAt, bestAkey, bestSeq = i, en.at, en.akey, en.seq
 			}
 		}
-		q.bucketSteps += len(q.buckets[q.curBkt])
-		if best != nil {
+		q.bucketSteps += len(arr)
+		if best >= 0 {
+			e := arr[best].e
+			if bounded && e.at > limit {
+				q.maybeRetune()
+				return nil
+			}
+			last := len(arr) - 1
+			if best != last {
+				moved := arr[last]
+				arr[best] = moved
+				moved.e.idx = best
+			}
+			arr[last] = calEntry{}
+			q.buckets[q.curBkt] = arr[:last]
+			e.idx = -1
+			q.count--
 			q.maybeRetune()
-			return best
+			return e
 		}
 		q.dayAdvances++
 		q.curBkt = (q.curBkt + 1) & q.mask
 		q.curTop += q.width
+		// Bounded horizon cut: once the cursor's day starts past the limit,
+		// no pending event can be within it (the cursor invariant puts every
+		// pending event at or after the cursor's day), so stop instead of
+		// walking to wherever the next event actually lives. Windowed sharded
+		// runs hit this every window — without the cut each window-end pop
+		// walks the idle stretch to the next slot timer, or worse, falls
+		// through to the full-calendar sweep.
+		if bounded && q.curTop-q.width > limit {
+			q.maybeRetune()
+			return nil
+		}
 	}
-	var best *event
+	var beste *event
 	for _, arr := range q.buckets {
-		for _, e := range arr {
-			if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
-				best = e
+		for i := range arr {
+			en := &arr[i]
+			if beste == nil || en.at < beste.at ||
+				(en.at == beste.at && (en.akey < beste.akey ||
+					(en.akey == beste.akey && en.seq < beste.seq))) {
+				beste = en.e
 			}
 		}
 	}
-	q.setCursor(uint64(best.at) / uint64(q.width))
-	return best
+	q.setCursor(uint64(beste.at) >> q.shift)
+	return q.pop(bounded, limit)
 }
 
-// maybeRetune closes the width feedback loop once per window: if peek
+// nextAt reports the earliest pending timestamp without removing anything.
+// It advances the cursor past empty days exactly as pop would (idempotent
+// under the cursor invariant) but leaves the width-feedback counters alone
+// so probes between windows don't skew the retune loop.
+func (q *calQueue) nextAt() (Time, bool) {
+	if q.count == 0 {
+		return 0, false
+	}
+	for cycle := 0; cycle < len(q.buckets); cycle++ {
+		arr := q.buckets[q.curBkt]
+		bestAt := q.curTop
+		found := false
+		for i := range arr {
+			if arr[i].at < bestAt {
+				bestAt = arr[i].at
+				found = true
+			}
+		}
+		if found {
+			return bestAt, true
+		}
+		q.curBkt = (q.curBkt + 1) & q.mask
+		q.curTop += q.width
+	}
+	var best Time
+	first := true
+	for _, arr := range q.buckets {
+		for i := range arr {
+			if first || arr[i].at < best {
+				best = arr[i].at
+				first = false
+			}
+		}
+	}
+	q.setCursor(uint64(best) >> q.shift)
+	return best, true
+}
+
+// maybeRetune closes the width feedback loop once per window: if the scan
 // examined many events per day, days hold too much and the width halves;
 // if it mostly walked empty days, days are too fine and the width doubles.
 // Either way events are refiled in place — no bucket reallocation — and
@@ -158,22 +262,34 @@ func (q *calQueue) maybeRetune() {
 	if q.peeks < calRetuneWindow {
 		return
 	}
-	if q.bucketSteps > calRetuneScan*q.peeks {
-		q.setWidth(q.width / 2)
-	} else if q.dayAdvances > calRetuneScan*q.peeks {
-		q.setWidth(q.width * 2)
+	// Test the empty-day signal before the crowded-day one. Slot-periodic
+	// populations schedule bursts of events at the *same* timestamp (every
+	// receiver's timer on a slot boundary), and no width separates ties, so
+	// a "halve on crowded scans" response to a tied burst can never win —
+	// it just narrows the days until the wheel aliases and the walks blow
+	// up, and with both counters then high, halving first means halving
+	// forever (the collapse pins the width at one nanosecond). Widening
+	// first is safe in every regime: scanning a tied burst costs the same
+	// at any width, while each empty day walked is pure overhead that
+	// widening removes.
+	if q.dayAdvances > calRetuneScan*q.peeks {
+		q.setShift(int(q.shift) + 1)
+	} else if q.bucketSteps > calRetuneScan*q.peeks {
+		q.setShift(int(q.shift) - 1)
 	}
 	q.peeks, q.bucketSteps, q.dayAdvances = 0, 0, 0
 }
 
-func (q *calQueue) setWidth(w Time) {
-	if w < 1 {
-		w = 1
+// setShift changes the day width to 1<<sh and refiles every event.
+func (q *calQueue) setShift(sh int) {
+	if sh < 0 {
+		sh = 0
 	}
-	if w == q.width {
+	if uint(sh) == q.shift {
 		return
 	}
-	q.width = w
+	q.shift = uint(sh)
+	q.width = 1 << q.shift
 	q.refile(len(q.buckets))
 }
 
@@ -184,22 +300,26 @@ func (q *calQueue) grow() {
 	var lo, hi Time
 	first := true
 	for _, arr := range q.buckets {
-		for _, e := range arr {
-			if first || e.at < lo {
-				lo = e.at
+		for i := range arr {
+			at := arr[i].at
+			if first || at < lo {
+				lo = at
 			}
-			if first || e.at > hi {
-				hi = e.at
+			if first || at > hi {
+				hi = at
 			}
 			first = false
 		}
 	}
 	if q.count > 1 && hi > lo {
-		if w := (hi - lo) / Time(q.count-1); w >= 1 {
-			q.width = w
-		} else {
-			q.width = 1
+		// Seed the width with the power of two nearest the mean spacing.
+		w := (hi - lo) / Time(q.count-1)
+		sh := 0
+		for Time(1)<<(sh+1) <= w {
+			sh++
 		}
+		q.shift = uint(sh)
+		q.width = 1 << q.shift
 	}
 	q.refile(2 * len(q.buckets))
 }
@@ -213,24 +333,24 @@ func (q *calQueue) refile(n int) {
 	q.scratch = q.scratch[:0]
 	var lo Time
 	for bi, arr := range q.buckets {
-		for i, e := range arr {
-			if len(q.scratch) == 0 || e.at < lo {
-				lo = e.at
+		for i := range arr {
+			if len(q.scratch) == 0 || arr[i].at < lo {
+				lo = arr[i].at
 			}
-			q.scratch = append(q.scratch, e)
-			arr[i] = nil
+			q.scratch = append(q.scratch, arr[i])
+			arr[i] = calEntry{}
 		}
 		q.buckets[bi] = arr[:0]
 	}
 	if n != len(q.buckets) {
-		q.buckets = make([][]*event, n)
+		q.buckets = make([][]calEntry, n)
 		q.mask = n - 1
 	}
-	for i, e := range q.scratch {
-		q.place(e)
-		q.scratch[i] = nil
+	for i := range q.scratch {
+		q.place(q.scratch[i].e)
+		q.scratch[i] = calEntry{}
 	}
 	if q.count > 0 {
-		q.setCursor(uint64(lo) / uint64(q.width))
+		q.setCursor(uint64(lo) >> q.shift)
 	}
 }

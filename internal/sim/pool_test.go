@@ -116,14 +116,14 @@ func TestPeriodicTimerReusesOneEvent(t *testing.T) {
 func TestResetReservedPreservesTieOrder(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	// Reserve a seq early, schedule competing same-time events afterwards,
-	// then arm the reserved timer last: it must still fire first, exactly as
-	// if it had been scheduled at reservation time.
-	seq := s.ReserveSeq()
+	// Reserve early, schedule competing same-time events afterwards, then
+	// arm the reserved timer last: it must still fire first, exactly as if
+	// it had been scheduled at reservation time.
+	res := s.Reserve()
 	s.Schedule(Second, func() { got = append(got, 2) })
 	s.Schedule(Second, func() { got = append(got, 3) })
 	tm := s.NewTimer(func() { got = append(got, 1) })
-	tm.ResetReserved(Second, seq)
+	tm.ResetReserved(Second, res)
 	s.Run()
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("order = %v, want [1 2 3]", got)

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardHarness runs one randomized message-passing workload over M logical
+// nodes, parameterized by how sends are routed — directly into one serial
+// scheduler, or across a ShardGroup. Each node owns a seeded RNG and a
+// trace of (time, value) activations; node behavior depends only on its
+// own state and the arrival order of its messages, so every execution that
+// preserves per-node arrival order must produce identical traces.
+type shardNode struct {
+	rng    *rand.Rand
+	hash   uint64
+	budget int // emissions left; bounds the supercritical branching
+	trace  []string
+}
+
+const (
+	shardTestNodes  = 12
+	shardTestLook   = 50 * Microsecond
+	shardTestLimit  = 20 * Millisecond
+	shardTestBudget = 300
+)
+
+type shardHarness struct {
+	nodes []*shardNode
+	now   func(i int) Time
+	send  func(from, to int, at Time, payload uint64)
+	sched func(i int, at Time, fn func())
+}
+
+func newNodes(seed int64) []*shardNode {
+	nodes := make([]*shardNode, shardTestNodes)
+	for i := range nodes {
+		nodes[i] = &shardNode{rng: rand.New(rand.NewSource(seed + int64(i))), budget: shardTestBudget}
+	}
+	return nodes
+}
+
+// activate is one node event: mix the payload, log it, and emit a bounded
+// amount of follow-on work.
+func (h *shardHarness) activate(i int, payload uint64) {
+	n := h.nodes[i]
+	now := h.now(i)
+	n.hash = n.hash*1099511628211 + payload + uint64(now)
+	n.trace = append(n.trace, fmt.Sprintf("%d@%d:%d", payload, now, n.hash))
+	// Each activation spawns >1 follow-on event in expectation, so without a
+	// bound the workload grows exponentially toward the horizon. The per-node
+	// budget keeps it finite; it decrements in arrival order, which the
+	// determinism contract makes identical across serial and sharded runs.
+	if now > shardTestLimit-Millisecond || n.budget <= 0 {
+		return // wind down near the horizon so the workload drains
+	}
+	n.budget--
+	// A self event at a random offset.
+	if n.rng.Intn(3) > 0 {
+		d := Time(1+n.rng.Intn(100)) * Microsecond
+		h.sched(i, now+d, func() { h.activate(i, payload+1) })
+	}
+	// A message to a random other node, at least one lookahead away.
+	if n.rng.Intn(2) == 0 {
+		to := n.rng.Intn(len(h.nodes) - 1)
+		if to >= i {
+			to++
+		}
+		at := now + shardTestLook + Time(n.rng.Int63n(int64(200*Microsecond)))
+		v := n.rng.Uint64() % 1000
+		h.send(i, to, at, v)
+	}
+}
+
+func (h *shardHarness) seedInitial() {
+	for i := range h.nodes {
+		i := i
+		t0 := Time(i+1) * 17 * Microsecond
+		h.sched(i, t0, func() { h.activate(i, uint64(i)) })
+	}
+}
+
+// runSerial executes the workload on one scheduler: the serial reference.
+func runSerial(seed int64) []*shardNode {
+	s := NewScheduler()
+	h := &shardHarness{nodes: newNodes(seed)}
+	h.now = func(int) Time { return s.Now() }
+	h.sched = func(_ int, at Time, fn func()) { s.ScheduleKeyed(at, s.Now(), fn) }
+	h.send = func(_, to int, at Time, payload uint64) {
+		s.ScheduleKeyed(at, s.Now(), func() { h.activate(to, payload) })
+	}
+	h.seedInitial()
+	s.RunUntil(shardTestLimit)
+	return h.nodes
+}
+
+// runSharded executes the same workload over k shards (node i on shard
+// i%k) with a full mesh of cross edges.
+func runSharded(seed int64, k int, parallel bool) ([]*shardNode, *ShardGroup) {
+	g := NewShardGroup(k)
+	g.Parallel = parallel
+	edges := make([][]*CrossEdge, k)
+	for a := 0; a < k; a++ {
+		edges[a] = make([]*CrossEdge, k)
+		for b := 0; b < k; b++ {
+			if a != b {
+				edges[a][b] = g.AddEdge(a, b, shardTestLook)
+			}
+		}
+	}
+	shardOf := func(i int) int { return i % k }
+	h := &shardHarness{nodes: newNodes(seed)}
+	h.now = func(i int) Time { return g.Shard(shardOf(i)).Now() }
+	h.sched = func(i int, at Time, fn func()) {
+		s := g.Shard(shardOf(i))
+		s.ScheduleKeyed(at, s.Now(), fn)
+	}
+	h.send = func(from, to int, at Time, payload uint64) {
+		fs, ts := shardOf(from), shardOf(to)
+		fn := func() { h.activate(to, payload) }
+		if fs == ts {
+			s := g.Shard(fs)
+			s.ScheduleKeyed(at, s.Now(), fn)
+			return
+		}
+		edges[fs][ts].Post(at, fn)
+	}
+	h.seedInitial()
+	g.RunUntil(shardTestLimit)
+	g.Close()
+	return h.nodes, g
+}
+
+// TestShardGroupMatchesSerial is the randomized differential test: the
+// same seeded workload must leave byte-identical per-node traces whether
+// it runs on one serial scheduler or partitioned across 2, 3, or 4 shards,
+// with and without goroutine parallelism.
+func TestShardGroupMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 2003} {
+		want := runSerial(seed)
+		for _, k := range []int{2, 3, 4} {
+			for _, parallel := range []bool{false, true} {
+				got, _ := runSharded(seed, k, parallel)
+				for i := range want {
+					if want[i].hash != got[i].hash {
+						t.Fatalf("seed %d shards %d parallel %v: node %d hash %d != serial %d\nserial trace: %v\nsharded trace: %v",
+							seed, k, parallel, i, got[i].hash, want[i].hash, want[i].trace, got[i].trace)
+					}
+					for j := range want[i].trace {
+						if j >= len(got[i].trace) || want[i].trace[j] != got[i].trace[j] {
+							t.Fatalf("seed %d shards %d parallel %v: node %d trace diverges at %d", seed, k, parallel, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardGroupStats sanity-checks the per-shard observability counters.
+func TestShardGroupStats(t *testing.T) {
+	_, g := runSharded(42, 3, true)
+	stats := g.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("stats len = %d, want 3", len(stats))
+	}
+	var events uint64
+	for i, st := range stats {
+		events += st.Events
+		if st.Windows == 0 {
+			t.Fatalf("shard %d ran no windows", i)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no events fired across shards")
+	}
+	var total uint64
+	for i := 0; i < g.Shards(); i++ {
+		total += g.Shard(i).Fired()
+	}
+	if events != total {
+		t.Fatalf("stats events %d != scheduler fired %d", events, total)
+	}
+}
+
+// TestCrossEdgePostLookaheadViolation verifies the conservative contract
+// is enforced, not assumed.
+func TestCrossEdgePostLookaheadViolation(t *testing.T) {
+	g := NewShardGroup(2)
+	e := g.AddEdge(0, 1, Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("posting inside the lookahead horizon should panic")
+		}
+	}()
+	e.Post(Microsecond, func() {})
+}
+
+// TestShardGroupSerialFallback: a one-shard group must behave exactly like
+// its underlying scheduler.
+func TestShardGroupSerialFallback(t *testing.T) {
+	g := NewShardGroup(1)
+	fired := 0
+	g.Shard(0).Schedule(Millisecond, func() { fired++ })
+	g.RunUntil(Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if got := g.Stats()[0].Events; got != 1 {
+		t.Fatalf("stats events = %d, want 1", got)
+	}
+}
+
+// TestShardGroupBarrierAccounting: parallel runs should record wall-clock
+// barrier waits without perturbing results (smoke only — wall clock is
+// nondeterministic).
+func TestShardGroupBarrierAccounting(t *testing.T) {
+	_, g := runSharded(7, 2, true)
+	for _, st := range g.Stats() {
+		if st.BarrierWait < 0 || st.BarrierWait > time.Minute {
+			t.Fatalf("implausible barrier wait %v", st.BarrierWait)
+		}
+	}
+}

@@ -47,12 +47,21 @@ func (t Time) Sec() float64 { return float64(t) / float64(Second) }
 // String renders the timestamp in seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Sec()) }
 
-// event is a scheduled closure. seq breaks ties between events with equal
-// timestamps so ordering is insertion-stable.
+// event is a scheduled closure. Ties between events with equal timestamps
+// break on (akey, seq): akey is the virtual instant the event was armed (or
+// its seq reserved) and seq the global arming order. In a single-scheduler
+// run the akey comparison is redundant — seq is monotone in arming order,
+// and arming instants are monotone in seq — so ordering degenerates to the
+// insertion-stable (at, seq) order the goldens were pinned under. The akey
+// matters for sharded runs: a cross-shard delivery is re-filed into the
+// destination scheduler with a fresh local seq but carries the sender-side
+// reservation instant as its akey, which reproduces exactly the tie-break a
+// single serial scheduler would have computed from its global seq.
 type event struct {
-	at  Time
-	seq uint64
-	do  func()
+	at   Time
+	akey Time
+	seq  uint64
+	do   func()
 	// bkt and idx locate the event inside the calendar queue: the bucket
 	// it is filed in and its position within that bucket. idx is -1 once
 	// popped or removed. An event is pending if and only if idx >= 0:
@@ -120,11 +129,11 @@ func (s *Scheduler) FreeEvents() int { return len(s.free) }
 // alloc produces a pending event at time t running f, reusing a recycled
 // event when one is available, and files it into the calendar.
 func (s *Scheduler) alloc(t Time, f func()) *event {
-	return s.allocSeq(t, f, s.ReserveSeq())
+	return s.allocRes(t, f, s.Reserve())
 }
 
-// allocSeq is alloc with an explicit tie-break sequence (already reserved).
-func (s *Scheduler) allocSeq(t Time, f func(), seq uint64) *event {
+// allocRes is alloc with an explicit tie-break reservation (already made).
+func (s *Scheduler) allocRes(t Time, f func(), r Reservation) *event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
@@ -138,7 +147,8 @@ func (s *Scheduler) allocSeq(t Time, f func(), seq uint64) *event {
 	} else {
 		e = &event{at: t, do: f}
 	}
-	e.seq = seq
+	e.akey = r.Akey
+	e.seq = r.Seq
 	s.cal.insert(e)
 	return e
 }
@@ -152,15 +162,23 @@ func (s *Scheduler) recycle(e *event) {
 	s.free = append(s.free, e)
 }
 
-// ReserveSeq hands out the next tie-break sequence number without scheduling
+// Reservation is a tie-break key handed out by Reserve: the virtual instant
+// the reservation was made plus the scheduler-local arming sequence. Events
+// with equal timestamps fire in (Akey, Seq) order.
+type Reservation struct {
+	Akey Time
+	Seq  uint64
+}
+
+// Reserve hands out the next tie-break reservation without scheduling
 // anything. Components that keep their own FIFO of future work (a link's
-// in-flight delivery pipeline) reserve the seq at the moment the work is
-// created, then arm a single reusable timer per item via Timer.ResetReserved
-// — firing order is then identical to scheduling every item individually.
-func (s *Scheduler) ReserveSeq() uint64 {
+// in-flight delivery pipeline) reserve at the moment the work is created,
+// then arm a single reusable timer per item via Timer.ResetReserved —
+// firing order is then identical to scheduling every item individually.
+func (s *Scheduler) Reserve() Reservation {
 	seq := s.seq
 	s.seq++
-	return seq
+	return Reservation{Akey: s.now, Seq: seq}
 }
 
 // At schedules f to run at absolute virtual time t and returns a cancellable
@@ -186,6 +204,22 @@ func (s *Scheduler) After(d Time, f func()) *Timer {
 func (s *Scheduler) Schedule(t Time, f func()) {
 	s.alloc(t, f)
 }
+
+// ScheduleKeyed schedules f at absolute time t with an explicit tie-break
+// akey instead of the current clock. The shard coordinator uses it to file
+// cross-shard deliveries under their sender-side reservation instant, so a
+// delivery competes in the destination scheduler exactly as it would have
+// in a single serial scheduler. akey must not exceed t.
+func (s *Scheduler) ScheduleKeyed(t, akey Time, f func()) {
+	r := Reservation{Akey: akey, Seq: s.seq}
+	s.seq++
+	s.allocRes(t, f, r)
+}
+
+// NextAt reports the timestamp of the earliest pending event, or false
+// when the queue is empty — the probe the shard coordinator anchors each
+// conservative window on.
+func (s *Scheduler) NextAt() (Time, bool) { return s.cal.nextAt() }
 
 // ScheduleAfter runs f a duration d after the current virtual time,
 // fire-and-forget.
@@ -226,12 +260,13 @@ func (s *Scheduler) Run() { s.run(false, 0) }
 func (s *Scheduler) run(bounded bool, limit Time) {
 	s.stopped = false
 	for s.cal.count > 0 && !s.stopped {
-		e := s.cal.peek()
-		if bounded && e.at > limit {
+		e := s.cal.pop(bounded, limit)
+		if e == nil {
+			// Bounded mode: the earliest event lies past the horizon and
+			// was left queued.
 			s.now = limit
 			return
 		}
-		s.cal.remove(e)
 		s.now = e.at
 		s.fired++
 		do := e.do
@@ -317,19 +352,19 @@ func (t *Timer) Reset(d Time) {
 // rescheduling in place when the timer is active. Like At, arming in the
 // past panics.
 func (t *Timer) ResetAt(at Time) {
-	t.resetAt(at, t.sched.ReserveSeq())
+	t.resetAt(at, t.sched.Reserve())
 }
 
-// ResetReserved arms the timer at absolute time at with a tie-break sequence
-// number previously obtained from Scheduler.ReserveSeq. This lets a
+// ResetReserved arms the timer at absolute time at with a tie-break
+// reservation previously obtained from Scheduler.Reserve. This lets a
 // component that queues future work in its own FIFO fire each item exactly
 // where an individually scheduled event would have fired — the deterministic
 // replay guarantee survives the pooling.
-func (t *Timer) ResetReserved(at Time, seq uint64) {
-	t.resetAt(at, seq)
+func (t *Timer) ResetReserved(at Time, r Reservation) {
+	t.resetAt(at, r)
 }
 
-func (t *Timer) resetAt(at Time, seq uint64) {
+func (t *Timer) resetAt(at Time, r Reservation) {
 	if t.do == nil {
 		panic("sim: Reset on a timer with no function")
 	}
@@ -339,11 +374,12 @@ func (t *Timer) resetAt(at Time, seq uint64) {
 		}
 		t.sched.cal.remove(t.ev)
 		t.ev.at = at
-		t.ev.seq = seq
+		t.ev.akey = r.Akey
+		t.ev.seq = r.Seq
 		t.sched.cal.insert(t.ev)
 		return
 	}
-	e := t.sched.allocSeq(at, t.do, seq)
+	e := t.sched.allocRes(at, t.do, r)
 	t.ev = e
 	t.gen = e.gen
 }

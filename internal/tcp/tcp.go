@@ -138,7 +138,8 @@ func (s *Sender) transmit(seq uint32) {
 	if s.stopped {
 		return
 	}
-	hdr := &packet.TCPHeader{Flow: s.flow, Seq: seq, Len: uint32(s.cfg.SegmentSize)}
+	hdr := s.host.Network().Pool().TCPHeader()
+	hdr.Flow, hdr.Seq, hdr.Len = s.flow, seq, uint32(s.cfg.SegmentSize)
 	pkt := s.host.Network().NewPacket(s.host.Addr(), s.dst, s.cfg.SegmentSize, hdr)
 	s.host.Send(pkt)
 	s.SegmentsSent++
@@ -325,7 +326,8 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 	} else if hdr.Seq > r.nextExpected {
 		r.outOfOrder[hdr.Seq] = true
 	}
-	ack := &packet.TCPHeader{Flow: r.flow, Ack: r.nextExpected, IsAck: true}
+	ack := r.host.Network().Pool().TCPHeader()
+	ack.Flow, ack.Ack, ack.IsAck = r.flow, r.nextExpected, true
 	r.host.Send(r.host.Network().NewPacket(r.host.Addr(), pkt.Src, r.cfg.AckSize, ack))
 }
 

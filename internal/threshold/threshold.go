@@ -129,12 +129,11 @@ func (s *Sender) runSlot(slot uint32) {
 		spacing := s.Sess.SlotDur / sim.Time(cnt)
 		for j := 1; j <= cnt; j++ {
 			share, up := ts.Shares(g)
-			hdr := &packet.FLIDHeader{
-				Session: s.Sess.ID, Group: uint8(g), Slot: slot,
-				Seq: uint16(j), Count: uint16(cnt), IncreaseTo: uint8(inc),
-				ShareX: share.X, ShareY: share.Y,
-				UpShareX: up.X, UpShareY: up.Y,
-			}
+			hdr := s.host.Network().Pool().FLIDHeader()
+			hdr.Session, hdr.Group, hdr.Slot = s.Sess.ID, uint8(g), slot
+			hdr.Seq, hdr.Count, hdr.IncreaseTo = uint16(j), uint16(cnt), uint8(inc)
+			hdr.ShareX, hdr.ShareY = share.X, share.Y
+			hdr.UpShareX, hdr.UpShareY = up.X, up.Y
 			at := slotStart + sim.Time(j-1)*spacing + s.rng.Jitter(spacing/2)
 			if at < sched.Now() {
 				at = sched.Now()

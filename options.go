@@ -22,6 +22,8 @@ type settings struct {
 	pool      *packet.Pool
 	events    []TimelineEvent
 	audit     auditSettings
+	shards    int
+	shardsSet bool
 	err       error
 }
 
@@ -273,6 +275,26 @@ func WithCohortThreshold(n int) Option {
 // every cohort's per-slot report travels to the source individually.
 func WithFeedbackConsolidation(on bool) Option {
 	return func(s *settings) { s.noConsol = !on }
+}
+
+// WithShards asks the experiment to execute across n parallel shards: the
+// topology is partitioned so that each migrated receiver host (and its
+// access links' sender sides) runs on its own per-core scheduler, with
+// conservative lookahead windows keeping results byte-identical to a serial
+// run — sharding changes wall-clock time, never output. n = 0 picks an
+// automatic shard count from GOMAXPROCS; n = 1 is explicit serial
+// execution. Experiments that script timeline events or enable the audit
+// layer's mid-run sampling fall back to serial execution and record why
+// (see Result.Sharding).
+func WithShards(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail(fmt.Errorf("deltasigma: WithShards(%d) must be non-negative", n))
+			return
+		}
+		s.shards = n
+		s.shardsSet = true
+	}
 }
 
 // WithECN turns on threshold ECN marking at every bottleneck queue:

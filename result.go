@@ -101,6 +101,12 @@ type Result struct {
 	// LostPackets totals packets lost at the bottlenecks: drop-tail drops
 	// plus outage (down-link) discards.
 	LostPackets uint64 `json:"lost_packets"`
+	// Sharding describes sharded execution when WithShards was requested
+	// (nil otherwise): shard count, per-shard event counts, barrier waits
+	// and mailbox high-water marks, or the reason the run fell back to
+	// serial. Wall-clock fields vary run to run; every other Result field
+	// is byte-identical whatever the shard count.
+	Sharding *ShardingResult `json:"sharding,omitempty"`
 }
 
 // Receiver returns the result entry for session s, receiver i (both
@@ -207,5 +213,6 @@ func (e *Experiment) result(until Time) *Result {
 		res.Bottlenecks = append(res.Bottlenecks, lr)
 		res.LostPackets += lr.Dropped + lr.DroppedDown
 	}
+	res.Sharding = e.shardingResult()
 	return res
 }

@@ -1,0 +1,188 @@
+package deltasigma
+
+import (
+	"runtime"
+
+	"deltasigma/internal/sim"
+)
+
+// This file is the experiment-level face of sharded execution (see
+// internal/sim/shard.go for the conservative-window engine and
+// internal/netsim/shard.go for the topology cut). The experiment decides
+// the partition: receiver hosts migrate to shards 1..n-1 in attachment
+// order, round-robin, while everything shared — routers, the multicast
+// fabric, senders, cohorts, cross traffic — stays on shard 0. Attachment
+// order doubles as cut-edge creation order, which is what makes the merged
+// event order replay a serial run exactly.
+
+// maxAutoShards caps WithShards(0): beyond a handful of shards the window
+// barriers outweigh the extra cores for typical topologies.
+const maxAutoShards = 8
+
+// autoKeepLocal is how many receivers auto mode leaves on shard 0 before
+// migrating the rest: tiny topologies decline parallelism (the whole run
+// fits one core's cache), and on larger ones the resident receivers
+// balance shard 0's router work against the receiver shards.
+const autoKeepLocal = 32
+
+// autoShardCount resolves WithShards(0).
+func autoShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxAutoShards {
+		n = maxAutoShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// setupShards wires the shard group during New, or records why sharded
+// execution was declined. Serial fallback keeps the run on the plain
+// scheduler path with identical results.
+func (e *Experiment) setupShards(s *settings) {
+	if !s.shardsSet {
+		return
+	}
+	n := s.shards
+	auto := n == 0
+	if auto {
+		n = autoShardCount()
+	}
+	e.shardWant = n
+	switch {
+	case n <= 1:
+		// Explicit serial (or a single-core auto resolution): not a fallback.
+	case s.audit.enabled:
+		e.shardFallback = "audit enabled: mid-run sampling reads cross-shard state"
+	case len(s.events) > 0:
+		e.shardFallback = "timeline events scripted: dynamics mutate cross-shard state"
+	default:
+		e.shardGroup = sim.NewShardGroupFrom(e.Topo.Scheduler(), n)
+		e.shardGroup.Parallel = true
+		e.Topo.Network().EnableSharding(e.shardGroup)
+		e.shardAuto = auto
+	}
+}
+
+// maybeMigrate moves a freshly attached receiver host onto the next shard,
+// round-robin over shards 1..n-1. It must run before the protocol agent is
+// constructed on the host — agents capture the host's scheduler. Hosts
+// that cannot migrate (zero-delay access links) stay on shard 0.
+func (e *Experiment) maybeMigrate(h *Host) {
+	if e.shardGroup == nil {
+		return
+	}
+	e.shardSeen++
+	if e.shardAuto && e.shardSeen <= autoKeepLocal {
+		return
+	}
+	net := e.Topo.Network()
+	if !net.CanMigrate(h) {
+		return
+	}
+	n := e.shardGroup.Shards()
+	s := 1 + e.shardNext%(n-1)
+	e.shardNext++
+	net.MigrateHost(h, s)
+	e.shardMigrated++
+}
+
+// shardsActive reports whether Advance must dispatch through the shard
+// group: with no migrated host every event lives on shard 0 and the plain
+// scheduler path is both correct and cheaper.
+func (e *Experiment) shardsActive() bool {
+	return e.shardGroup != nil && e.shardMigrated > 0
+}
+
+// ShardStatus reports the sharded-execution state: how many shards the run
+// executes on (1 for serial), how many receiver hosts migrated off shard 0,
+// and — when sharding was requested but declined — why. Command-line
+// front-ends use this to warn about under-filled shard requests.
+func (e *Experiment) ShardStatus() (shards, migrated int, fallback string) {
+	if e.shardsActive() {
+		return e.shardGroup.Shards(), e.shardMigrated, ""
+	}
+	return 1, 0, e.shardFallbackReason()
+}
+
+// shardFallbackReason names why a requested sharded run executes serially
+// ("" when sharding was never requested, or is active).
+func (e *Experiment) shardFallbackReason() string {
+	if e.shardWant <= 1 || e.shardsActive() {
+		return ""
+	}
+	if e.shardFallback != "" {
+		return e.shardFallback
+	}
+	return "no migratable receivers: every host is on shard 0"
+}
+
+// ShardResult is one shard's share of a sharded run (see sim.ShardStats).
+type ShardResult struct {
+	// Events is the number of events the shard's scheduler fired.
+	Events uint64 `json:"events"`
+	// BarrierWaitNs is wall-clock time the shard spent finished-but-waiting
+	// at window barriers — the load-imbalance measure.
+	BarrierWaitNs int64 `json:"barrier_wait_ns"`
+	// MailboxMax is the high-water mark of cross-shard envelopes drained
+	// into this shard at a single barrier.
+	MailboxMax int `json:"mailbox_max"`
+}
+
+// ShardingResult describes how a run that requested WithShards actually
+// executed. Wall-clock fields (barrier waits) vary run to run; everything
+// the simulation computes is byte-identical to a serial run regardless.
+type ShardingResult struct {
+	// Shards is the executing shard count (1 when the request fell back to
+	// serial).
+	Shards int `json:"shards"`
+	// MigratedHosts is how many receiver hosts run off shard 0.
+	MigratedHosts int `json:"migrated_hosts"`
+	// FallbackReason says why a requested sharded run executed serially.
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Windows is the number of conservative window rounds executed.
+	Windows uint64 `json:"windows,omitempty"`
+	// Efficiency is sum(events) / (shards × max-shard events) in (0,1]: 1
+	// means perfectly balanced shards, 1/shards means one shard did all the
+	// work.
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// PerShard holds one entry per shard, shard 0 first.
+	PerShard []ShardResult `json:"per_shard,omitempty"`
+}
+
+// shardingResult snapshots the sharded-execution stats for Result, or nil
+// when WithShards was never given.
+func (e *Experiment) shardingResult() *ShardingResult {
+	if e.shardWant == 0 {
+		return nil
+	}
+	if !e.shardsActive() {
+		return &ShardingResult{Shards: 1, FallbackReason: e.shardFallbackReason()}
+	}
+	stats := e.shardGroup.Stats()
+	sr := &ShardingResult{
+		Shards:        e.shardGroup.Shards(),
+		MigratedHosts: e.shardMigrated,
+		PerShard:      make([]ShardResult, len(stats)),
+	}
+	var sum, max uint64
+	for i, st := range stats {
+		sr.PerShard[i] = ShardResult{
+			Events:        st.Events,
+			BarrierWaitNs: st.BarrierWait.Nanoseconds(),
+			MailboxMax:    st.MailboxMax,
+		}
+		sum += st.Events
+		if st.Events > max {
+			max = st.Events
+		}
+		if st.Windows > sr.Windows {
+			sr.Windows = st.Windows
+		}
+	}
+	if max > 0 {
+		sr.Efficiency = float64(sum) / (float64(len(stats)) * float64(max))
+	}
+	return sr
+}
