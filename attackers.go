@@ -1,0 +1,151 @@
+package deltasigma
+
+import (
+	"fmt"
+
+	"deltasigma/internal/sigma"
+)
+
+// AttackerStrategy selects how an attacker added through
+// AddAttackerStrategy behaves. Every strategy rides on the protocol's
+// inflated-subscription attacker; the non-classic ones layer a capability
+// the paper's threat model (§2.2) does not grant a lone receiver — see
+// docs/ADVERSARIES.md for the catalog.
+type AttackerStrategy string
+
+const (
+	// StrategyClassic is the paper's §4.2 attacker: plain-IGMP inflation
+	// plus independent random key guessing. AddAttacker is shorthand for
+	// this strategy.
+	StrategyClassic AttackerStrategy = "classic"
+	// StrategyColluding enrolls the attacker in a per-session cohort that
+	// shares decoded keys and deduplicates guesses (see sigma.Collusion).
+	StrategyColluding AttackerStrategy = "colluding"
+	// StrategyAdaptive times inflation bursts to the experiment's
+	// scripted disturbances — churn windows, link flaps, capacity and
+	// membership changes — instead of attacking continuously.
+	StrategyAdaptive AttackerStrategy = "adaptive"
+	// StrategyForging spoofs control-plane traffic: per-slot forged SIGMA
+	// unsubscribes that evict co-located honest receivers' grants, plus
+	// bogus consolidated feedback toward the source (sigma.ForgeAttack).
+	StrategyForging AttackerStrategy = "forging"
+)
+
+// valid reports whether the strategy is one of the defined constants.
+func (st AttackerStrategy) valid() bool {
+	switch st {
+	case StrategyClassic, StrategyColluding, StrategyAdaptive, StrategyForging:
+		return true
+	}
+	return false
+}
+
+// guessEngine is satisfied by every protected protocol's attacker: the
+// embedded sigma.GuessAttack promotes Engine through the protocol attacker
+// and its facade wrapper alike.
+type guessEngine interface {
+	Engine() *sigma.GuessAttack
+}
+
+// AddAttackerStrategy attaches an attacker with the given strategy at the
+// topology's default egress.
+func (s *ExperimentSession) AddAttackerStrategy(st AttackerStrategy) *Receiver {
+	return s.AddAttackerStrategyAt(st, s.exp.Topo.AttachReceiver("", DefaultDelay))
+}
+
+// AddAttackerStrategyAt attaches an attacker with the given strategy at an
+// explicit port. An empty strategy means classic. On unprotected variants
+// (no SIGMA control plane to collude against or forge into) colluding and
+// forging degrade to the classic inflator — which already wins outright
+// there; adaptive keeps its timing behavior everywhere.
+//
+// Non-classic strategies force serial execution on sharded experiments:
+// collusion taps and adaptive timeline entries touch cross-shard state.
+// Like AddEvents, the downgrade panics once receivers have migrated — add
+// strategy attackers before plain receivers, or skip WithShards.
+func (s *ExperimentSession) AddAttackerStrategyAt(st AttackerStrategy, port Port) *Receiver {
+	if st == "" {
+		st = StrategyClassic
+	}
+	if !st.valid() {
+		panic(fmt.Sprintf("deltasigma: unknown attacker strategy %q", st))
+	}
+	if st != StrategyClassic {
+		s.exp.downgradeSharding("AddAttackerStrategy",
+			fmt.Sprintf("attacker strategy %q: collusion and adaptive scheduling mutate cross-shard state", st))
+	}
+	r := s.AddAttackerAt(port)
+	r.strategy = st
+	if !s.exp.Protocol.Protected() && (st == StrategyColluding || st == StrategyForging) {
+		r.strategy = StrategyClassic
+		return r
+	}
+	switch st {
+	case StrategyColluding:
+		eng, ok := r.agent.(guessEngine)
+		if !ok {
+			r.strategy = StrategyClassic
+			return r
+		}
+		if s.collusion == nil {
+			s.collusion = sigma.NewCollusion()
+		}
+		s.collusion.Join(eng.Engine())
+	case StrategyForging:
+		r.forge = sigma.NewForgeAttack(r.host, s.Sess, r.edge, s.src.Addr())
+	}
+	return r
+}
+
+// Strategy reports the attacker strategy this receiver runs (empty for
+// well-behaved receivers and plain AddAttacker attackers; a degraded
+// strategy reports what actually runs, i.e. classic).
+func (r *Receiver) Strategy() AttackerStrategy { return r.strategy }
+
+// Inflated reports whether this receiver's inflation attack is currently
+// active (always false for well-behaved receivers). Adaptive attackers
+// toggle this as their compiled disturbance windows open and close.
+func (r *Receiver) Inflated() bool {
+	if i, ok := r.agent.(interface{ Inflated() bool }); ok {
+		return i.Inflated()
+	}
+	return false
+}
+
+// Forge exposes the forging engine of a StrategyForging attacker (nil
+// otherwise) for its spoofed-message counters.
+func (r *Receiver) Forge() *sigma.ForgeAttack { return r.forge }
+
+// Collusion returns the session's shared attacker key pool, non-nil once
+// any StrategyColluding attacker has been added.
+func (s *ExperimentSession) Collusion() *sigma.Collusion { return s.collusion }
+
+// victimAddrs lists the honest receivers a forging attacker can evict:
+// same session, attached through the same edge gatekeeper (the controller
+// only accepts control traffic whose claimed source is local to it), in
+// attach order for determinism.
+func (s *ExperimentSession) victimAddrs(atk *Receiver) []Addr {
+	var out []Addr
+	for _, r := range s.Receivers {
+		if r == atk || r.Attacker() || r.host == nil || r.edge != atk.edge {
+			continue
+		}
+		out = append(out, r.host.Addr())
+	}
+	return out
+}
+
+// downgradeSharding forces serial execution for wiring whose runtime
+// behavior crosses shard boundaries, recording reason for Result.Sharding.
+// Mirrors the AddEvents downgrade: a no-op when sharding is off, a panic
+// once receivers have migrated (their schedulers are already pinned).
+func (e *Experiment) downgradeSharding(op, reason string) {
+	if e.shardGroup == nil {
+		return
+	}
+	if e.shardMigrated > 0 {
+		panic("deltasigma: " + op + " on a sharded experiment with migrated receivers; wire strategies before receivers or drop WithShards")
+	}
+	e.shardGroup = nil
+	e.shardFallback = reason
+}

@@ -223,21 +223,7 @@ func (a *Audit) checkOracle(o SuppressionOracle, until Time) {
 		if o.Session != 0 && s.index != o.Session {
 			continue
 		}
-		var honest []float64
-		var attackers []*Receiver
-		for _, r := range s.Receivers {
-			if r.Attacker() {
-				attackers = append(attackers, r)
-			} else {
-				honest = append(honest, r.Meter().AvgKbps(o.From, until))
-			}
-		}
-		for _, c := range s.Cohorts {
-			// A cohort is a population of honest receivers; its per-member
-			// average is one honest sample (the members are homogeneous, so
-			// one sample is the population's share).
-			honest = append(honest, c.Meter().AvgKbps(o.From, until)/float64(c.Members()))
-		}
+		honest, attackers := sessionRates(s, o.From, until)
 		if len(attackers) == 0 || len(honest) == 0 {
 			continue // the oracle needs both populations to compare
 		}
@@ -256,6 +242,27 @@ func (a *Audit) checkOracle(o SuppressionOracle, until Time) {
 			}
 		}
 	}
+}
+
+// sessionRates gathers one session's throughput samples over [from, until):
+// every honest receiver's average in Kbps — cohorts contribute their
+// per-member average as one sample, since members are homogeneous and one
+// sample is the population's share — plus the attacker receivers
+// themselves, for callers that need per-attacker rates. Shared by the
+// suppression oracle and the attacker-advantage fitness measurement, so
+// the hunt optimizer maximizes exactly what the oracle bounds.
+func sessionRates(s *ExperimentSession, from, until Time) (honest []float64, attackers []*Receiver) {
+	for _, r := range s.Receivers {
+		if r.Attacker() {
+			attackers = append(attackers, r)
+		} else {
+			honest = append(honest, r.Meter().AvgKbps(from, until))
+		}
+	}
+	for _, c := range s.Cohorts {
+		honest = append(honest, c.Meter().AvgKbps(from, until)/float64(c.Members()))
+	}
+	return honest, attackers
 }
 
 // ---------------------------------------------------------------------------

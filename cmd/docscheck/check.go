@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Check runs every docs check against the repo rooted at root and returns
+// one human-readable line per problem, sorted for deterministic output.
+func Check(root string) ([]string, error) {
+	var problems []string
+	links, err := checkLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, links...)
+	docs, err := checkPackageDocs(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, docs...)
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// linkRE matches inline markdown links and images: [text](target). It
+// deliberately does not match reference-style links, which the repo's
+// docs do not use.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdFiles lists the markdown files under the link check: README.md and
+// DESIGN.md at the root, plus everything in docs/.
+func mdFiles(root string) ([]string, error) {
+	var files []string
+	for _, name := range []string{"README.md", "DESIGN.md"} {
+		p := filepath.Join(root, name)
+		if _, err := os.Stat(p); err == nil {
+			files = append(files, p)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return files, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join(root, "docs", e.Name()))
+		}
+	}
+	return files, nil
+}
+
+// checkLinks verifies every relative link target in the checked markdown
+// files resolves to an existing file or directory.
+func checkLinks(root string) ([]string, error) {
+	files, err := mdFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		inFence := false
+		for i, line := range strings.Split(string(data), "\n") {
+			// Fenced code blocks hold shell examples, not links.
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !relativeLink(target) {
+					continue
+				}
+				if frag := strings.IndexByte(target, '#'); frag >= 0 {
+					target = target[:frag]
+				}
+				if target == "" {
+					continue // pure fragment: same-file anchor
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					rel, _ := filepath.Rel(root, file)
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: dead link %q", filepath.ToSlash(rel), i+1, m[1]))
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// relativeLink reports whether a markdown link target should resolve on
+// the local filesystem.
+func relativeLink(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, scheme) {
+			return false
+		}
+	}
+	return !strings.HasPrefix(target, "#")
+}
+
+// checkPackageDocs parses every Go package under root and reports those
+// without a package doc comment. Test files never carry the package doc.
+func checkPackageDocs(root string) ([]string, error) {
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "docs":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for dir := range pkgDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return nil, err
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				rel, _ := filepath.Rel(root, dir)
+				problems = append(problems,
+					fmt.Sprintf("%s: package %s has no package doc comment", filepath.ToSlash(rel), name))
+			}
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoDocsClean runs the real checks against the real repo: no dead
+// relative links in README.md/DESIGN.md/docs/, no undocumented packages.
+func TestRepoDocsClean(t *testing.T) {
+	problems, err := Check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestCheckCatchesProblems builds a tiny repo with one dead link, one live
+// link and one undocumented package, and checks each verdict.
+func TestCheckCatchesProblems(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, root, "DESIGN.md", "design\n")
+	writeFile(t, root, "README.md",
+		"[live](DESIGN.md) and [dead](docs/MISSING.md)\n"+
+			"[external](https://example.com) [anchor](#performance)\n"+
+			"```\nnot a [link](nope.md) — fenced\n```\n")
+	writeFile(t, root, "docs/EXTRA.md", "[up](../README.md) [gone](../LICENSE)\n")
+	writeFile(t, root, "documented/doc.go", "// Package documented has a doc.\npackage documented\n")
+	writeFile(t, root, "bare/bare.go", "package bare\n")
+
+	problems, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`README.md:1: dead link "docs/MISSING.md"`,
+		`docs/EXTRA.md:1: dead link "../LICENSE"`,
+		`bare: package bare has no package doc comment`,
+	}
+	if len(problems) != len(want) {
+		t.Fatalf("got %d problems %v, want %d", len(problems), problems, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing expected problem %q in %v", w, problems)
+		}
+	}
+}
+
+func writeFile(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

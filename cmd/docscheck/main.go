@@ -1,0 +1,39 @@
+// Command docscheck keeps the documentation layer honest. It fails the
+// build (exit 1) when
+//
+//   - a relative markdown link in README.md, DESIGN.md or docs/*.md points
+//     at a file that does not exist, or
+//   - a Go package under the repo (root facade, internal/..., cmd/...)
+//     lacks a package doc comment.
+//
+// External links (http/https/mailto) are deliberately not fetched — the
+// check must be hermetic and deterministic for CI. Run it from the repo
+// root, or pass the root as the single argument:
+//
+//	go run ./cmd/docscheck
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := Check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}

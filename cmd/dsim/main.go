@@ -40,6 +40,16 @@
 //
 //	go run ./cmd/dsim fuzz -n 200 -seed 1 -workers 4
 //	go run ./cmd/dsim fuzz -repro fuzz_repro_42.json
+//
+// The `hunt` subcommand is the adversarial attack optimizer: a seeded
+// evolutionary search over the fuzzer's scenario space that maximizes
+// attacker advantage (best attacker's throughput over the honest median),
+// emitting a ranked worst-scenario corpus with shrunk repro files. Like
+// every campaign it is byte-identical at any -workers value:
+//
+//	go run ./cmd/dsim hunt -gens 8 -pop 24 -seed 1 -workers 4
+//	go run ./cmd/dsim hunt -gens 3 -pop 16 -seed 1 -out hunt-out -json
+//	go run ./cmd/dsim fuzz -repro hunt-out/hunt_repro_rank1.json
 package main
 
 import (
@@ -66,6 +76,8 @@ func main() {
 		err = runSweep(os.Args[2:], os.Stdout)
 	case len(os.Args) > 1 && os.Args[1] == "fuzz":
 		err = runFuzz(os.Args[2:], os.Stdout)
+	case len(os.Args) > 1 && os.Args[1] == "hunt":
+		err = runHunt(os.Args[2:], os.Stdout)
 	default:
 		err = run(os.Args[1:], os.Stdout)
 	}

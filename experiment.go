@@ -173,6 +173,10 @@ type ExperimentSession struct {
 	exp   *Experiment
 	index int
 	src   *Host // the sender host; cohort feedback reports aim here
+
+	// collusion is the session's shared attacker key pool, created lazily
+	// by the first StrategyColluding attacker.
+	collusion *sigma.Collusion
 }
 
 // Receiver wraps any protocol's receiver — or attacker — behind one
@@ -183,10 +187,17 @@ type Receiver struct {
 
 	exp     *Experiment
 	host    *Host
+	edge    Addr // the gatekeeper address the receiver subscribes through
 	session int
 	index   int
 	startAt Time
 	manual  bool
+
+	// strategy is the attacker behavior selected by AddAttackerStrategy
+	// (empty for well-behaved receivers and plain AddAttacker attackers);
+	// forge is the feedback-forging engine of a StrategyForging attacker.
+	strategy AttackerStrategy
+	forge    *sigma.ForgeAttack
 }
 
 // StartAt defers the receiver's automatic start to virtual time t (the
@@ -231,10 +242,14 @@ func (r *Receiver) Meter() *Meter { return r.agent.Meter() }
 func (r *Receiver) Attacker() bool { return r.atk != nil }
 
 // Inflate launches the inflated-subscription attack from this receiver (it
-// must have been added with AddAttacker).
+// must have been added with AddAttacker). For a StrategyForging attacker
+// the forging loop starts alongside the inflation.
 func (r *Receiver) Inflate() {
 	if r.atk != nil {
 		r.atk.Inflate()
+	}
+	if r.forge != nil {
+		r.forge.Inflate()
 	}
 }
 
@@ -245,6 +260,9 @@ func (r *Receiver) Inflate() {
 func (r *Receiver) Deflate() {
 	if d, ok := r.agent.(Deflater); ok {
 		d.Deflate()
+	}
+	if r.forge != nil {
+		r.forge.Deflate()
 	}
 }
 
@@ -343,7 +361,7 @@ func (s *ExperimentSession) AddReceiverAt(port Port) *Receiver {
 	// scheduler, so the host has to be on its final shard first.
 	s.exp.maybeMigrate(port.Host)
 	agent := s.exp.Protocol.NewReceiver(port.Host, s.Sess, port.Edge.Addr())
-	return s.wrap(agent, port.Host)
+	return s.wrap(agent, port.Host, port.Edge.Addr())
 }
 
 // AddAttacker attaches an inflated-subscription attacker at the topology's
@@ -361,14 +379,15 @@ func (s *ExperimentSession) AddAttackerAt(port Port) *Receiver {
 	if err != nil {
 		panic(err)
 	}
-	return s.wrap(agent, port.Host)
+	return s.wrap(agent, port.Host, port.Edge.Addr())
 }
 
-func (s *ExperimentSession) wrap(agent ReceiverAgent, host *Host) *Receiver {
+func (s *ExperimentSession) wrap(agent ReceiverAgent, host *Host, edge Addr) *Receiver {
 	r := &Receiver{
 		agent:   agent,
 		exp:     s.exp,
 		host:    host,
+		edge:    edge,
 		session: s.index,
 		index:   len(s.Receivers) + 1,
 	}
@@ -471,6 +490,22 @@ func (e *Experiment) Start() {
 	}
 	for _, c := range e.cbrs {
 		c.schedule(e)
+	}
+
+	// Attacker strategies that depend on the wired experiment: forging
+	// attackers learn the co-located honest receivers whose grants they
+	// will tear down, and adaptive attackers compile their inflation
+	// schedule from the declared timeline (before resolveEvents installs
+	// it, so both kinds of entries share one declaration order).
+	for _, s := range e.sessions {
+		for _, r := range s.Receivers {
+			if r.forge != nil {
+				r.forge.Arm(s.victimAddrs(r))
+			}
+			if r.strategy == StrategyAdaptive {
+				e.scheduleAdaptive(r)
+			}
+		}
 	}
 
 	// Resolve the declared timeline last, so events see the fully wired

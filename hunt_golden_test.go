@@ -1,0 +1,89 @@
+package deltasigma_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltasigma/internal/fuzzing"
+)
+
+// huntGoldenConfig is the pinned search: small enough to run in test
+// time, large enough to exercise generation, mutation, elitism and the
+// shrinker end to end.
+func huntGoldenConfig(workers int) fuzzing.HuntConfig {
+	return fuzzing.HuntConfig{
+		Gens: 4, Pop: 12, Seed: 1, Workers: workers,
+		Keep: 6, ShrinkTop: 1, ShrinkBudget: 30,
+	}
+}
+
+func marshalHuntReport(r fuzzing.HuntReport) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// TestHuntGolden locks the attack optimizer end to end, alongside the
+// sweep, churn and fuzz goldens: the full hunt report — every ranked
+// scenario, its measured advantage, and the shrunk repro — is
+// byte-identical across worker counts and pinned against
+// testdata/hunt_golden.json, so neither the generator, the mutator, the
+// fitness measurement nor the engine underneath can drift silently.
+func TestHuntGolden(t *testing.T) {
+	serial := fuzzing.Hunt(huntGoldenConfig(1))
+	js1, err := marshalHuntReport(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := fuzzing.Hunt(huntGoldenConfig(*sweepWorkers))
+	jsN, err := marshalHuntReport(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, jsN) {
+		t.Fatalf("hunt report differs between -workers=1 and -workers=%d", *sweepWorkers)
+	}
+	if serial.Best() <= 1 {
+		t.Errorf("pinned hunt found no attacker advantage (best %.3f); the corpus should document real attacks", serial.Best())
+	}
+	if len(serial.Scenarios) == 0 || serial.Scenarios[0].Shrunk == nil {
+		t.Fatalf("pinned hunt is missing the shrunk repro for its top scenario")
+	}
+
+	path := filepath.Join("testdata", "hunt_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(js1, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(append(js1, '\n'), want) {
+		t.Errorf("hunt report diverged from golden file %s:\ngot:\n%s\nwant:\n%s", path, js1, want)
+	}
+}
+
+// TestHuntBeatsRandom is the optimizer's acceptance bar: on a fixed seed
+// the guided search must find strictly more attacker advantage than the
+// best of 200 random samples from the same generator — otherwise the
+// evolutionary loop is decoration on top of random fuzzing.
+func TestHuntBeatsRandom(t *testing.T) {
+	baseline := fuzzing.RandomBaseline(1, 200, *sweepWorkers)
+	report := fuzzing.Hunt(fuzzing.HuntConfig{
+		Gens: 8, Pop: 24, Seed: 1, Workers: *sweepWorkers, ShrinkTop: -1,
+	})
+	t.Logf("hunt best %.3f vs random baseline %.3f (%s)",
+		report.Best(), baseline.Fitness, baseline.Attacker)
+	if report.Best() <= baseline.Fitness {
+		t.Errorf("hunt best %.3f does not beat the best of 200 random samples %.3f",
+			report.Best(), baseline.Fitness)
+	}
+}

@@ -183,6 +183,25 @@ func (f *Flapper) Start(from sim.Time) {
 	f.timer.ResetAt(at)
 }
 
+// FlapInstants computes, without running anything, the exact down and up
+// transition times a Flapper with the same parameters would fire when
+// started at from. The adaptive-attacker scheduler uses it to time
+// inflation bursts to flap recoveries; keeping it next to Flapper.fire
+// makes the two trivially comparable, and a unit test pins that they
+// agree. Mirrors Flapper semantics exactly: the first down lands one full
+// period after from, downs past the until horizon are dropped, and every
+// fired down's matching up is included even when it falls past until.
+func FlapInstants(period, downFor, from, until sim.Time) (downs, ups []sim.Time) {
+	if downFor <= 0 || period <= 0 || downFor >= period {
+		return nil, nil
+	}
+	for t := from + period; t <= until; t += period {
+		downs = append(downs, t)
+		ups = append(ups, t+downFor)
+	}
+	return downs, ups
+}
+
 // fire alternates down and up transitions on the single reusable timer.
 func (f *Flapper) fire() {
 	if !f.isDown {

@@ -130,3 +130,47 @@ func TestFlapperValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestFlapInstantsMatchFlapper pins the static schedule computation to
+// the live generator: FlapInstants must predict exactly the down and up
+// transitions a running Flapper fires, since the adaptive attacker times
+// its bursts off the prediction while the links obey the generator.
+func TestFlapInstantsMatchFlapper(t *testing.T) {
+	const (
+		period  = 3 * sim.Second
+		downFor = sim.Second / 2
+		from    = 2 * sim.Second
+		until   = 20 * sim.Second
+	)
+	sched := sim.NewScheduler()
+	var downs, ups []sim.Time
+	f := NewFlapper(sched, period, downFor, until,
+		func() { downs = append(downs, sched.Now()) },
+		func() { ups = append(ups, sched.Now()) })
+	f.Start(from)
+	sched.Run()
+
+	wantDowns, wantUps := FlapInstants(period, downFor, from, until)
+	if len(wantDowns) == 0 {
+		t.Fatal("test window produced no flaps")
+	}
+	if len(downs) != len(wantDowns) || len(ups) != len(wantUps) {
+		t.Fatalf("fired %d downs / %d ups, predicted %d / %d", len(downs), len(ups), len(wantDowns), len(wantUps))
+	}
+	for i := range wantDowns {
+		if downs[i] != wantDowns[i] || ups[i] != wantUps[i] {
+			t.Fatalf("cycle %d: fired down %v up %v, predicted %v %v", i, downs[i], ups[i], wantDowns[i], wantUps[i])
+		}
+	}
+	if f.Flaps != uint64(len(wantDowns)) {
+		t.Fatalf("Flaps = %d, want %d", f.Flaps, len(wantDowns))
+	}
+
+	// Degenerate parameters predict nothing rather than panicking.
+	if d, u := FlapInstants(0, downFor, from, until); d != nil || u != nil {
+		t.Fatal("zero period should predict no transitions")
+	}
+	if d, u := FlapInstants(period, period, from, until); d != nil || u != nil {
+		t.Fatal("downFor >= period should predict no transitions")
+	}
+}

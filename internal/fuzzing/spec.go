@@ -5,11 +5,20 @@
 // invariant-audit layer on the campaign worker pool; and a shrinker that
 // reduces a failing specification to a minimal reproducer.
 //
+// The same Spec machinery also powers the adversarial attack optimizer
+// behind `dsim hunt` (Hunt, GenerateHunt, Mutate, EvaluateAdvantage,
+// ShrinkHunt): an elitist evolutionary search whose fitness is attacker
+// advantage — best attacker throughput over honest median inside the
+// suppression-oracle window — over mutations of timelines, topologies,
+// populations, schedule depth and attacker strategy. Where the fuzzer
+// samples the scenario space for invariant violations, the hunt climbs
+// it for worst cases, and shrinks the winners into exhibit-sized repros.
+//
 // Everything is reproducible by construction: a Spec is a pure function of
 // its seed, an Outcome is a pure function of its Spec (experiments are
 // single-threaded and seeded), and campaign results are stored by seed
-// index — so a fuzz campaign produces byte-identical summaries at any
-// worker count, and a failure replays from its JSON repro file alone.
+// index — so fuzz campaigns and hunt reports alike are byte-identical at
+// any worker count, and a failure replays from its JSON repro file alone.
 package fuzzing
 
 import (
@@ -70,6 +79,10 @@ type SessionSpec struct {
 // ReceiverSpec is one receiver (honest or attacker).
 type ReceiverSpec struct {
 	Attacker bool `json:"attacker,omitempty"`
+	// Strategy selects the attacker strategy ("classic", "colluding",
+	// "adaptive", "forging"; empty = classic). Only meaningful with
+	// Attacker set; the hunt generator and mutator populate it.
+	Strategy string `json:"strategy,omitempty"`
 	// DelayMs is the access-link propagation delay (0 = topology default).
 	DelayMs float64 `json:"delay_ms,omitempty"`
 	// StartSec staggers the receiver's join (0 = joins at time zero).
@@ -209,7 +222,9 @@ func (sp Spec) Wire(e *deltasigma.Experiment) {
 			if rs.DelayMs > 0 {
 				delay = sim.Seconds(rs.DelayMs / 1000)
 			}
-			if rs.Attacker {
+			if rs.Attacker && rs.Strategy != "" {
+				r = s.AddAttackerStrategyAt(deltasigma.AttackerStrategy(rs.Strategy), e.Topo.AttachReceiver("", delay))
+			} else if rs.Attacker {
 				r = s.AddAttackerAt(e.Topo.AttachReceiver("", delay))
 			} else {
 				r = s.AddReceiverDelay(delay)

@@ -121,10 +121,19 @@ func (h *Host) Shard() int { return h.shard }
 // pool mid-run. Agents that run on hosts (protocol receivers, membership
 // clients) must mint through this instead of Network.NewPacket.
 func (h *Host) NewPacket(dst packet.Addr, size int, hdr packet.Header) *packet.Packet {
+	return h.NewPacketFrom(h.addr, dst, size, hdr)
+}
+
+// NewPacketFrom mints a packet with an explicit (possibly spoofed) source
+// address through the host's shard pool. Nothing in the data plane
+// validates Src against the sending host, which is exactly the gap the
+// feedback-forging adversary exploits; keeping the mint on the host keeps
+// shard pool accounting honest even for forged traffic.
+func (h *Host) NewPacketFrom(src, dst packet.Addr, size int, hdr packet.Header) *packet.Packet {
 	if h.pool == nil {
-		return h.net.NewPacket(h.addr, dst, size, hdr)
+		return h.net.NewPacket(src, dst, size, hdr)
 	}
-	p := h.pool.Get(h.addr, dst, size, hdr)
+	p := h.pool.Get(src, dst, size, hdr)
 	p.UID = h.net.shardUID(h.shard)
 	return p
 }

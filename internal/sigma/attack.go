@@ -33,7 +33,20 @@ type GuessAttack struct {
 	inflated bool
 	// GuessesSent counts submitted key guesses.
 	GuessesSent uint64
+
+	// pool, when non-nil, switches the guessing loop to the colluding
+	// strategy: replay the cohort's learned real keys and deduplicate
+	// random guesses across members. mute suppresses the pool's client
+	// tap while the engine submits its own guess traffic.
+	pool *Collusion
+	mute bool
 }
+
+// Engine exposes the attack engine itself. Protocol attackers embed a
+// GuessAttack, and facade wrappers embed those attackers, so the method
+// promotes through the whole chain — a caller holding any wrapper can
+// reach the engine with a one-method interface assertion.
+func (a *GuessAttack) Engine() *GuessAttack { return a }
 
 // NewGuessAttack builds the engine on host against the edge at routerAddr,
 // submitting guesses through client on behalf of a receiver whose current
@@ -97,18 +110,65 @@ func (a *GuessAttack) attackSlot() {
 	// Submit guessed keys for every group above the entitled level, for
 	// the next access slot.
 	target := core.AccessSlot(cur)
+	if a.pool != nil {
+		a.pooledSlot(cur, target)
+	} else {
+		pairs := make([]packet.AddrKey, 0, a.sess.Rates.N*a.GuessesPerSlot)
+		for g := a.entitled() + 1; g <= a.sess.Rates.N; g++ {
+			for i := 0; i < a.GuessesPerSlot; i++ {
+				pairs = append(pairs, packet.AddrKey{
+					Addr: a.sess.GroupAddr(g),
+					Key:  keys.Key(a.rng.Uint64()) & keyMask,
+				})
+				a.GuessesSent++
+			}
+		}
+		if len(pairs) > 0 {
+			a.client.Subscribe(target, pairs)
+		}
+	}
+	a.timer.ResetAt(a.sess.SlotStart(cur+1) + 7*a.sess.SlotDur/10)
+}
+
+// pooledSlot is the colluding variant of a guessing slot: replay every
+// real key the cohort has learned for any still-subscribable slot — the
+// controller accepts any slot at or ahead of the current one, and even a
+// current-slot grant persists through the grace window — then spend the
+// per-slot guess budget only on groups the pool has no real key for,
+// deduplicated cohort-wide. Members' legitimate receivers subscribe one
+// evaluation behind the attack's guess target, so the replayed slots trail
+// target; that is exactly why they must be submitted separately.
+func (a *GuessAttack) pooledSlot(cur, target uint32) {
+	a.pool.gc(cur)
+	for _, slot := range a.pool.slots() {
+		var pairs []packet.AddrKey
+		for g := a.entitled() + 1; g <= a.sess.Rates.N; g++ {
+			addr := a.sess.GroupAddr(g)
+			if k, ok := a.pool.sharedKey(slot, addr); ok {
+				pairs = append(pairs, packet.AddrKey{Addr: addr, Key: k})
+				a.pool.SharedSubmitted++
+			}
+		}
+		if len(pairs) > 0 {
+			a.mute = true
+			a.client.Subscribe(slot, pairs)
+			a.mute = false
+		}
+	}
 	pairs := make([]packet.AddrKey, 0, a.sess.Rates.N*a.GuessesPerSlot)
 	for g := a.entitled() + 1; g <= a.sess.Rates.N; g++ {
+		addr := a.sess.GroupAddr(g)
+		if _, ok := a.pool.sharedKey(target, addr); ok {
+			continue
+		}
 		for i := 0; i < a.GuessesPerSlot; i++ {
-			pairs = append(pairs, packet.AddrKey{
-				Addr: a.sess.GroupAddr(g),
-				Key:  keys.Key(a.rng.Uint64()) & keyMask,
-			})
+			pairs = append(pairs, packet.AddrKey{Addr: addr, Key: a.pool.freshGuess(a.rng, target, addr)})
 			a.GuessesSent++
 		}
 	}
 	if len(pairs) > 0 {
+		a.mute = true
 		a.client.Subscribe(target, pairs)
+		a.mute = false
 	}
-	a.timer.ResetAt(a.sess.SlotStart(cur+1) + 7*a.sess.SlotDur/10)
 }

@@ -27,6 +27,13 @@ type Client struct {
 	Retransmits uint64
 	// AcksReceived counts acknowledgments.
 	AcksReceived uint64
+
+	// Tap, when set, observes every Subscribe before it is sent. A
+	// colluding attacker pool installs it on its members' legitimate
+	// clients to learn the real announced keys they submit; the engine's
+	// own guess traffic mutes itself around its Subscribe calls so junk
+	// guesses are never mistaken for decoded keys.
+	Tap func(slot uint32, pairs []packet.AddrKey)
 }
 
 type pendingSub struct {
@@ -80,6 +87,9 @@ func (c *Client) SessionJoin(minimal packet.Addr) {
 // (taken before the send, so a drop-tail drop cannot recycle it) and the
 // same envelope is re-sent with Retain instead of cloned per try.
 func (c *Client) Subscribe(slot uint32, pairs []packet.AddrKey) uint32 {
+	if c.Tap != nil {
+		c.Tap(slot, pairs)
+	}
 	c.nextID++
 	id := c.nextID
 	hdr := &packet.SigmaHeader{Kind: packet.SigmaSubscribe, Slot: slot, AckID: id, Pairs: pairs}

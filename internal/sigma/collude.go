@@ -1,0 +1,138 @@
+package sigma
+
+import (
+	"sort"
+
+	"deltasigma/internal/keys"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+)
+
+// Collusion is a shared key pool for a cohort of attackers working the
+// same session. The paper's key-guessing analysis (§4.2) assumes each
+// inflator guesses independently; a colluding cohort violates that in two
+// ways. First, members tap their own legitimate receivers' subscription
+// traffic, so every key any member decodes from the in-band announcements
+// it is entitled to becomes available to the whole cohort — a member
+// entitled to level k arms every other member with the real keys for
+// groups 1..k. Second, random guesses are deduplicated across the cohort,
+// so y colluders sample y·GuessesPerSlot distinct keys per group instead
+// of overlapping draws.
+type Collusion struct {
+	members []*GuessAttack
+	// shared maps slot → group address → a real key learned from a
+	// member's legitimate subscription.
+	shared map[uint32]map[packet.Addr]keys.Key
+	// guessed maps slot → group address → the set of keys any member has
+	// already burned a guess on.
+	guessed map[uint32]map[packet.Addr]map[keys.Key]bool
+
+	// KeysLearned counts real keys captured from members' legitimate
+	// subscription traffic.
+	KeysLearned uint64
+	// SharedSubmitted counts learned keys replayed by members that were
+	// not entitled to them.
+	SharedSubmitted uint64
+}
+
+// NewCollusion builds an empty pool.
+func NewCollusion() *Collusion {
+	return &Collusion{
+		shared:  make(map[uint32]map[packet.Addr]keys.Key),
+		guessed: make(map[uint32]map[packet.Addr]map[keys.Key]bool),
+	}
+}
+
+// Join enrolls an attack engine: the engine switches its guessing loop to
+// the pooled strategy, and a tap on its SIGMA client captures the real
+// keys its embedded legitimate receiver submits. The engine mutes the tap
+// around its own guess submissions, so junk guesses never pollute the
+// shared store.
+func (c *Collusion) Join(a *GuessAttack) {
+	a.pool = c
+	c.members = append(c.members, a)
+	prev := a.client.Tap
+	a.client.Tap = func(slot uint32, pairs []packet.AddrKey) {
+		if prev != nil {
+			prev(slot, pairs)
+		}
+		if a.mute {
+			return
+		}
+		c.learn(slot, pairs)
+	}
+}
+
+// Members reports how many engines have joined the pool.
+func (c *Collusion) Members() int { return len(c.members) }
+
+// learn records real keys observed in a member's legitimate subscription.
+func (c *Collusion) learn(slot uint32, pairs []packet.AddrKey) {
+	bySlot := c.shared[slot]
+	if bySlot == nil {
+		bySlot = make(map[packet.Addr]keys.Key)
+		c.shared[slot] = bySlot
+	}
+	for _, p := range pairs {
+		if _, ok := bySlot[p.Addr]; !ok {
+			bySlot[p.Addr] = p.Key
+			c.KeysLearned++
+		}
+	}
+}
+
+// slots lists the slots the pool holds learned keys for, ascending — a
+// deterministic replay order independent of map iteration.
+func (c *Collusion) slots() []uint32 {
+	out := make([]uint32, 0, len(c.shared))
+	for slot := range c.shared {
+		out = append(out, slot)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sharedKey returns the pooled real key for a group in a slot, if any
+// member has decoded one.
+func (c *Collusion) sharedKey(slot uint32, addr packet.Addr) (keys.Key, bool) {
+	k, ok := c.shared[slot][addr]
+	return k, ok
+}
+
+// freshGuess draws a random key the cohort has not guessed for this
+// (slot, group) yet, with a bounded number of redraws so the per-slot
+// work stays O(GuessesPerSlot) even when the unseen space thins out.
+func (c *Collusion) freshGuess(rng *sim.RNG, slot uint32, addr packet.Addr) keys.Key {
+	byAddr := c.guessed[slot]
+	if byAddr == nil {
+		byAddr = make(map[packet.Addr]map[keys.Key]bool)
+		c.guessed[slot] = byAddr
+	}
+	seen := byAddr[addr]
+	if seen == nil {
+		seen = make(map[keys.Key]bool)
+		byAddr[addr] = seen
+	}
+	k := keys.Key(rng.Uint64()) & keyMask
+	for tries := 0; tries < 3 && seen[k]; tries++ {
+		k = keys.Key(rng.Uint64()) & keyMask
+	}
+	seen[k] = true
+	return k
+}
+
+// gc discards pooled state for slots that can no longer be subscribed.
+// Map iteration order is irrelevant here: only entries strictly below cur
+// are deleted, so the surviving state is order-independent.
+func (c *Collusion) gc(cur uint32) {
+	for slot := range c.shared {
+		if slot < cur {
+			delete(c.shared, slot)
+		}
+	}
+	for slot := range c.guessed {
+		if slot < cur {
+			delete(c.guessed, slot)
+		}
+	}
+}
