@@ -40,6 +40,12 @@ func (st AttackerStrategy) valid() bool {
 	return false
 }
 
+// AttackerStrategies lists the defined strategy names in catalog order,
+// for validation messages and sweep axes.
+func AttackerStrategies() []AttackerStrategy {
+	return []AttackerStrategy{StrategyClassic, StrategyColluding, StrategyAdaptive, StrategyForging}
+}
+
 // guessEngine is satisfied by every protected protocol's attacker: the
 // embedded sigma.GuessAttack promotes Engine through the protocol attacker
 // and its facade wrapper alike.
@@ -64,6 +70,24 @@ func (s *ExperimentSession) AddAttackerStrategy(st AttackerStrategy) *Receiver {
 // Like AddEvents, the downgrade panics once receivers have migrated — add
 // strategy attackers before plain receivers, or skip WithShards.
 func (s *ExperimentSession) AddAttackerStrategyAt(st AttackerStrategy, port Port) *Receiver {
+	r, err := s.TryAddAttackerStrategyAt(st, port)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryAddAttackerStrategy is AddAttackerStrategy returning the protocol's
+// attacker-availability error — e.g. *NoAttackerError — instead of
+// panicking.
+func (s *ExperimentSession) TryAddAttackerStrategy(st AttackerStrategy) (*Receiver, error) {
+	return s.TryAddAttackerStrategyAt(st, s.exp.Topo.AttachReceiver("", DefaultDelay))
+}
+
+// TryAddAttackerStrategyAt is AddAttackerStrategyAt returning the
+// protocol's attacker-availability error instead of panicking. An unknown
+// strategy name still panics: it is caller error, not a protocol property.
+func (s *ExperimentSession) TryAddAttackerStrategyAt(st AttackerStrategy, port Port) (*Receiver, error) {
 	if st == "" {
 		st = StrategyClassic
 	}
@@ -74,18 +98,21 @@ func (s *ExperimentSession) AddAttackerStrategyAt(st AttackerStrategy, port Port
 		s.exp.downgradeSharding("AddAttackerStrategy",
 			fmt.Sprintf("attacker strategy %q: collusion and adaptive scheduling mutate cross-shard state", st))
 	}
-	r := s.AddAttackerAt(port)
+	r, err := s.TryAddAttackerAt(port)
+	if err != nil {
+		return nil, err
+	}
 	r.strategy = st
 	if !s.exp.Protocol.Protected() && (st == StrategyColluding || st == StrategyForging) {
 		r.strategy = StrategyClassic
-		return r
+		return r, nil
 	}
 	switch st {
 	case StrategyColluding:
 		eng, ok := r.agent.(guessEngine)
 		if !ok {
 			r.strategy = StrategyClassic
-			return r
+			return r, nil
 		}
 		if s.collusion == nil {
 			s.collusion = sigma.NewCollusion()
@@ -94,7 +121,7 @@ func (s *ExperimentSession) AddAttackerStrategyAt(st AttackerStrategy, port Port
 	case StrategyForging:
 		r.forge = sigma.NewForgeAttack(r.host, s.Sess, r.edge, s.src.Addr())
 	}
-	return r
+	return r, nil
 }
 
 // Strategy reports the attacker strategy this receiver runs (empty for

@@ -185,8 +185,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cohort must be non-negative, got %d", *cohort)
 	}
 	if *cohort > 0 {
-		if _, ok := exp.Protocol.(deltasigma.ReplicatedProtocol); ok {
-			return fmt.Errorf("-cohort is not supported by the replicated variant %q (no per-group stream for the fluid model to observe)", *protocol)
+		if !deltasigma.ProtocolSupportsCohorts(*protocol) {
+			return fmt.Errorf("-cohort is not supported by protocol %q (no layered fluid aggregate for the cohort model to ride)", *protocol)
 		}
 	}
 
@@ -214,7 +214,14 @@ func run(args []string, out io.Writer) error {
 	for i := 0; i < *sessions; i++ {
 		s := exp.AddSession(0)
 		if i == 0 && *attackAt > 0 {
-			receivers = append(receivers, s.AddAttacker())
+			// The Try form surfaces the typed no-attacker refusal of
+			// attackerless schemes (abr-cf) as a clean CLI error instead of
+			// a panic trace.
+			atk, err := s.TryAddAttacker()
+			if err != nil {
+				return fmt.Errorf("-attack: %w", err)
+			}
+			receivers = append(receivers, atk)
 		} else {
 			receivers = append(receivers, s.AddReceiver())
 		}

@@ -34,6 +34,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"flap past end", []string{"-flap", "90", "-dur", "60"}, "inside -dur"},
 		{"negative cohort", []string{"-cohort", "-3"}, "-cohort"},
 		{"cohort on replicated", []string{"-cohort", "10", "-protocol", "flid-ds-replicated"}, "replicated"},
+		{"cohort on mfcc", []string{"-cohort", "10", "-protocol", "mfcc"}, "not supported"},
+		{"attack on abr-cf", []string{"-attack", "5", "-protocol", "abr-cf"}, "no inflated-subscription attacker"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -111,9 +113,12 @@ func TestSweepFlagValidation(t *testing.T) {
 		{"bad cohorts", []string{"-cohorts", "many"}, "-cohorts"},
 		{"negative cohorts", []string{"-cohorts", "-5", "-dur", "1"}, "negative"},
 		{"bad seeds", []string{"-seeds", "x"}, "-seeds"},
+		{"unknown protocol axis", []string{"-protocols", "bogus"}, "registered:"},
+		{"unknown strategy axis", []string{"-strategies", "bogus", "-dur", "1"}, "strategy"},
 		{"unknown campaign", []string{"-campaign", "nope"}, "unknown campaign"},
 		{"campaign axis conflict", []string{"-campaign", "churn", "-receivers", "4"}, "no effect with -campaign"},
 		{"campaign cohorts conflict", []string{"-campaign", "million", "-cohorts", "10"}, "no effect with -campaign"},
+		{"campaign strategies conflict", []string{"-campaign", "shootout", "-strategies", "classic"}, "no effect with -campaign"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,6 +128,29 @@ func TestSweepFlagValidation(t *testing.T) {
 				t.Fatalf("runSweep(%v) error = %v, want substring %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// The canned shoot-out campaign runs end to end through the CLI at a tiny
+// scale: every registered protocol appears in the table, the attackerless
+// baseline rows fail with the typed no-attacker reason, and everything
+// else posts numbers — the same invocation CI's smoke job makes.
+func TestSweepShootoutCampaignTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSweep([]string{"-campaign", "shootout", "-scale", "0.05", "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if s == "" {
+		t.Fatal("shootout campaign produced no table")
+	}
+	for _, name := range deltasigma.Protocols() {
+		if !strings.Contains(s, name) {
+			t.Errorf("shootout table missing protocol %q:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(s, "no inflated-subscription attacker") {
+		t.Errorf("shootout table missing the attackerless baseline rows:\n%s", s)
 	}
 }
 
@@ -207,7 +235,7 @@ func TestSweepCSVShape(t *testing.T) {
 		t.Fatalf("rows = %d, want header + 2 points", len(rows))
 	}
 	header := rows[0]
-	for i, want := range []string{"protocol", "topology", "receivers", "attackers", "cohort", "bottleneck_bps"} {
+	for i, want := range []string{"protocol", "topology", "receivers", "attackers", "strategy", "cohort", "bottleneck_bps"} {
 		if header[i] != want {
 			t.Errorf("header[%d] = %q, want %q", i, header[i], want)
 		}

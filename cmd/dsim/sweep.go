@@ -23,6 +23,7 @@ func runSweep(args []string, out io.Writer) error {
 	topologies := fs.String("topologies", "dumbbell", "comma-separated topology axis: dumbbell, chain<N> or star<N>")
 	receivers := fs.String("receivers", "1", "comma-separated well-behaved receiver counts")
 	attackers := fs.String("attackers", "0", "comma-separated attacker counts")
+	strategies := fs.String("strategies", "", "comma-separated attacker strategy axis: classic, colluding, adaptive, forging (empty = classic)")
 	cohorts := fs.String("cohorts", "", "comma-separated aggregated cohort member counts (0 = exact receivers only)")
 	capacity := fs.String("capacity", "1000000", "comma-separated bottleneck bits/s axis")
 	slots := fs.String("slots", "", "comma-separated slot durations in ms (empty = protocol default)")
@@ -61,7 +62,7 @@ func runSweep(args []string, out io.Writer) error {
 		}
 		// A canned campaign fixes its own grid; only -scale and -seeds
 		// adjust it. Reject axis flags that would be silently ignored.
-		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "cohorts", "capacity", "slots", "spreads", "churns", "attackats", "flaps", "dur", "warmup", "attack"} {
+		for _, name := range []string{"protocols", "topologies", "receivers", "attackers", "strategies", "cohorts", "capacity", "slots", "spreads", "churns", "attackats", "flaps", "dur", "warmup", "attack"} {
 			if flagWasSet(fs, name) {
 				return fmt.Errorf("-%s has no effect with -campaign (canned campaigns fix their grid; use -scale and -seeds, or drop -campaign for an ad-hoc grid)", name)
 			}
@@ -80,8 +81,8 @@ func runSweep(args []string, out io.Writer) error {
 		var err error
 		if sw, err = buildSweep(sweepAxes{
 			protocols: *protocols, topologies: *topologies,
-			receivers: *receivers, attackers: *attackers, cohorts: *cohorts,
-			capacity: *capacity, slots: *slots, spreads: *spreads,
+			receivers: *receivers, attackers: *attackers, strategies: *strategies,
+			cohorts: *cohorts, capacity: *capacity, slots: *slots, spreads: *spreads,
 			churns: *churns, attackAts: *attackAts, flaps: *flaps,
 			seeds: *seeds, dur: *dur, warmup: *warmup, attackAt: *attackAt,
 		}); err != nil {
@@ -113,8 +114,8 @@ func runSweep(args []string, out io.Writer) error {
 // sweepAxes bundles the ad-hoc grid flags.
 type sweepAxes struct {
 	protocols, topologies, receivers, attackers string
-	cohorts, capacity, slots, spreads           string
-	churns, attackAts, flaps                    string
+	strategies, cohorts, capacity, slots        string
+	spreads, churns, attackAts, flaps           string
 	seeds                                       string
 	dur, warmup, attackAt                       float64
 }
@@ -124,6 +125,14 @@ func buildSweep(ax sweepAxes) (deltasigma.Sweep, error) {
 	var sw deltasigma.Sweep
 	sw.Name = "adhoc"
 	sw.Protocols = splitList(ax.protocols)
+	// Validate the protocol axis up front: a typo would otherwise surface
+	// as one opaque failure per grid point instead of a usable message.
+	for _, name := range sw.Protocols {
+		if _, ok := deltasigma.LookupProtocol(name); !ok {
+			return sw, fmt.Errorf("-protocols: unknown protocol %q (registered: %v)", name, deltasigma.Protocols())
+		}
+	}
+	sw.Strategies = splitList(ax.strategies)
 	for _, tok := range splitList(ax.topologies) {
 		spec, err := parseTopologySpec(tok)
 		if err != nil {

@@ -48,11 +48,12 @@ func (s *ExperimentSession) AddCohortDelay(n int, delay Time) *Cohort {
 	if n <= 0 {
 		panic(fmt.Sprintf("deltasigma: AddCohort(%d) needs a positive population", n))
 	}
-	if _, ok := s.exp.Protocol.(ReplicatedProtocol); ok {
-		// Replicated sessions carry ProtoRepl data the layered fluid model
-		// never observes; an aggregated population would sit at level 1
-		// forever and report pure loss.
-		panic("deltasigma: AddCohort is not supported on the replicated protocol")
+	if !supportsCohorts(s.exp.Protocol) {
+		// E.g. replicated sessions carry ProtoRepl data the layered fluid
+		// model never observes; an aggregated population would sit at
+		// level 1 forever and report pure loss. Protocols declare this via
+		// CohortCapable.
+		panic(fmt.Sprintf("deltasigma: AddCohort is not supported on protocol %q", s.exp.Protocol.Name()))
 	}
 	port := s.exp.Topo.AttachCohort("", delay)
 	agent := cohort.New(port.Host, port.Edge, s.Sess, uint64(n))

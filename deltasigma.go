@@ -24,7 +24,9 @@
 // SIGMA gatekeeper per edge (WithStar) — and any Topology implementation
 // plugs in through WithTopology. Protocol variants are looked up by name in
 // a registry (WithProtocol): "flid-dl", "flid-ds", "flid-ds-replicated"
-// and "flid-ds-threshold" are built in, and RegisterProtocol adds more.
+// and "flid-ds-threshold" are built in alongside the competitor suite
+// "mfcc", "dsc" and "abr-cf" (see docs/PROTOCOLS.md), and RegisterProtocol
+// adds more.
 // Run returns a typed Result carrying per-receiver throughput series,
 // bottleneck utilization and loss counts. The examples/ directory shows
 // the API in use.
@@ -32,6 +34,7 @@ package deltasigma
 
 import (
 	"deltasigma/internal/core"
+	"deltasigma/internal/mcast"
 	"deltasigma/internal/netsim"
 	"deltasigma/internal/packet"
 	"deltasigma/internal/sim"
@@ -60,6 +63,9 @@ type (
 	Link = netsim.Link
 	// Addr is a network (host or group) address.
 	Addr = packet.Addr
+	// EdgeRouter is a gatekept multicast edge router — what EdgeAssisted
+	// protocols hang their router-resident agents on.
+	EdgeRouter = mcast.Router
 	// PacketPool recycles packet envelopes across experiments; see
 	// WithPacketPool. One pool must never serve concurrent experiments.
 	PacketPool = packet.Pool

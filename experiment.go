@@ -78,6 +78,7 @@ type Experiment struct {
 	shardFallback string
 
 	controllers []*sigma.Controller
+	edgeAgents  []EdgeAgent
 }
 
 // New assembles an experiment from functional options. With no options it
@@ -308,6 +309,7 @@ func (e *Experiment) AddSession(receivers int) *ExperimentSession {
 		PacketSize: e.pktSize,
 	}
 	src := e.Topo.AttachSource("")
+	sess.Src = src.Addr()
 	for _, a := range sess.Addrs() {
 		e.Topo.Multicast().SetSource(a, src.ID())
 	}
@@ -366,20 +368,39 @@ func (s *ExperimentSession) AddReceiverAt(port Port) *Receiver {
 
 // AddAttacker attaches an inflated-subscription attacker at the topology's
 // default egress. It panics if the protocol variant has no attacker; use
-// the Protocol's NewAttacker directly to handle that case.
+// TryAddAttacker (or check ProtocolHasAttacker first) to handle that case.
 func (s *ExperimentSession) AddAttacker() *Receiver {
 	return s.AddAttackerAt(s.exp.Topo.AttachReceiver("", DefaultDelay))
 }
 
 // AddAttackerAt attaches an attacker at an explicit port.
 func (s *ExperimentSession) AddAttackerAt(port Port) *Receiver {
+	r, err := s.TryAddAttackerAt(port)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryAddAttacker attaches an attacker at the topology's default egress,
+// returning the protocol's typed error — e.g. *NoAttackerError for
+// variants whose design leaves nothing to inflate — instead of panicking.
+// Check ProtocolHasAttacker before calling to avoid attaching a receiver
+// host that an error would then leave unused.
+func (s *ExperimentSession) TryAddAttacker() (*Receiver, error) {
+	return s.TryAddAttackerAt(s.exp.Topo.AttachReceiver("", DefaultDelay))
+}
+
+// TryAddAttackerAt attaches an attacker at an explicit port, returning the
+// protocol's error instead of panicking.
+func (s *ExperimentSession) TryAddAttackerAt(port Port) (*Receiver, error) {
 	s.exp.mustNotHaveStarted("AddAttacker")
 	s.exp.maybeMigrate(port.Host)
 	agent, err := s.exp.Protocol.NewAttacker(port.Host, s.Sess, port.Edge.Addr(), s.exp.Topo.Rand().Fork())
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return s.wrap(agent, port.Host, port.Edge.Addr())
+	return s.wrap(agent, port.Host, port.Edge.Addr()), nil
 }
 
 func (s *ExperimentSession) wrap(agent ReceiverAgent, host *Host, edge Addr) *Receiver {
@@ -429,15 +450,35 @@ func (e *Experiment) Start() {
 		}
 	}
 
-	// Cohort feedback flows as unicast reports toward each session source;
-	// with consolidation on (the default), every router merges the child
-	// reports of a slot into one before forwarding, so the source-side
-	// control volume scales with tree fan-out, not population.
-	if len(e.Cohorts()) > 0 && !e.noConsol {
+	// Cohort feedback — and the per-slot receiver reports of feedback-driven
+	// protocols like dsc and abr-cf — flows as unicast reports toward each
+	// session source; with consolidation on (the default), every router
+	// merges the child reports of a slot into one before forwarding, so the
+	// source-side control volume scales with tree fan-out, not population.
+	consumes := false
+	if fd, ok := e.Protocol.(FeedbackDriven); ok {
+		consumes = fd.ConsumesFeedback()
+	}
+	if (len(e.Cohorts()) > 0 || consumes) && !e.noConsol {
 		e.enableConsolidation()
 	}
 
 	sched := e.Topo.Scheduler()
+
+	// Network-assisted protocols hang an agent on every gatekept edge
+	// (mfcc's fair-share advertiser), created after the gatekeepers above
+	// so the agents can interrogate the installed membership policy.
+	if ea, ok := e.Protocol.(EdgeAssisted); ok {
+		sessList := make([]*Session, len(e.sessions))
+		for i, s := range e.sessions {
+			sessList[i] = s.Sess
+		}
+		for _, edge := range e.Topo.Edges() {
+			agent := ea.NewEdgeAgent(edge, sessList)
+			e.edgeAgents = append(e.edgeAgents, agent)
+			sched.At(0, agent.Start)
+		}
+	}
 	for _, s := range e.sessions {
 		s := s
 		sched.At(0, s.Sender.Start)
@@ -525,6 +566,10 @@ func (e *Experiment) Start() {
 // Controllers returns the SIGMA controllers installed at Start (empty for
 // unprotected experiments or before Start).
 func (e *Experiment) Controllers() []*sigma.Controller { return e.controllers }
+
+// EdgeAgents returns the per-edge protocol agents installed at Start
+// (empty unless the protocol is EdgeAssisted).
+func (e *Experiment) EdgeAgents() []EdgeAgent { return e.edgeAgents }
 
 // At schedules fn at virtual time t.
 func (e *Experiment) At(t Time, fn func()) { e.Topo.Scheduler().At(t, fn) }

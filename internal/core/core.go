@@ -101,6 +101,7 @@ func ScheduleForTotal(base, total int64, n int) RateSchedule {
 type Session struct {
 	ID         uint16
 	BaseAddr   packet.Addr
+	Src        packet.Addr // unicast address of the session source (0 until wired)
 	Rates      RateSchedule
 	SlotDur    sim.Time
 	Epoch      sim.Time // when slot 0 begins

@@ -181,6 +181,44 @@ func TestShrinkMinimizesFailingSpec(t *testing.T) {
 	}
 }
 
+// Repros minimize across protocol swaps: a suppression failure staged on
+// the dsc competitor also reproduces on the plain FLID-DL baseline (both
+// are unprotected, so the inflated subscription wins either way), and the
+// shrinker must land there. A failure that only the original protocol
+// exhibits keeps its protocol — swapping an attacker-carrying spec onto
+// abr-cf trips the typed no-attacker panic, a different failure key, so
+// the swap pass can never sneak one in.
+func TestShrinkMinimizesAcrossProtocolSwaps(t *testing.T) {
+	sp := failingSpec()
+	sp.Protocol = "dsc"
+	if out := Run(sp, nil); !out.Failed() {
+		t.Fatalf("dsc attack under the oracle did not fail: %+v", out)
+	}
+	shrunk, out := Shrink(sp, 0)
+	if !out.Failed() {
+		t.Fatal("shrunk spec no longer fails")
+	}
+	if shrunk.Protocol != "flid-dl" {
+		t.Errorf("repro not minimized across protocol swaps: protocol %q, want flid-dl", shrunk.Protocol)
+	}
+	if len(out.Violations) == 0 || out.Violations[0].Rule != "suppression-oracle" {
+		t.Fatalf("swap changed the failure class: %+v (err %q)", out.Violations, out.Err)
+	}
+	honest, attackers := populations(shrunk.Sessions[0])
+	if attackers == 0 || honest == 0 {
+		t.Fatalf("swap pass lost a load-bearing receiver: honest=%d attackers=%d", honest, attackers)
+	}
+	// The swapped repro must replay its own failure from serialized form.
+	js, _ := json.Marshal(shrunk)
+	var back Spec
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if re := Run(back, nil); !re.Failed() || re.Fingerprint != out.Fingerprint {
+		t.Fatalf("swapped repro does not replay: pass=%v fp %s vs %s", re.Pass, re.Fingerprint, out.Fingerprint)
+	}
+}
+
 // A load-bearing cohort is collapsed to the smallest member count that
 // still reproduces, not dropped: here the cohort is the attacked session's
 // only honest population, so removing it makes the oracle vacuous and the

@@ -12,6 +12,7 @@ var (
 	genProtocols = []string{
 		"flid-dl", "flid-ds", "flid-ds", // weight the paper's headline variant
 		"flid-ds-replicated", "flid-ds-threshold",
+		"mfcc", "dsc", "abr-cf", // the competitor suite fuzzes too
 	}
 	genCaps = []int64{250_000, 400_000, 600_000, 800_000, 1_000_000, 1_500_000}
 	// genCohorts is the aggregated-population menu: the fluid model's cost
@@ -64,12 +65,18 @@ func Generate(seed uint64) Spec {
 	}
 
 	// Populations: one or two sessions, a handful of receivers, up to two
-	// attackers spread across them.
+	// attackers spread across them. Schemes with no inflated-subscription
+	// attack surface (ProtocolHasAttacker false) get none: Wire attaches
+	// attackers through the panicking AddAttackerAt path, and a generator
+	// that emitted them would drown real findings in sanctioned panics.
 	nSessions := 1
 	if rng.Float64() < 0.3 {
 		nSessions = 2
 	}
 	attackBudget := rng.IntN(3) // 0..2 attackers in the whole scenario
+	if !deltasigma.ProtocolHasAttacker(sp.Protocol) {
+		attackBudget = 0
+	}
 	for s := 0; s < nSessions; s++ {
 		var ss SessionSpec
 		honest := 1 + rng.IntN(4)
@@ -94,10 +101,11 @@ func Generate(seed uint64) Spec {
 		sp.Sessions = append(sp.Sessions, ss)
 	}
 
-	// Cohorts: aggregated honest populations ride along on the cumulative
-	// variants (the replicated sender carries no per-group FLID stream for
-	// the fluid model to observe, and AddCohort rejects it).
-	if sp.Protocol != "flid-ds-replicated" {
+	// Cohorts: aggregated honest populations ride along only where the
+	// protocol exposes a layered fluid aggregate for the cohort model to
+	// observe — AddCohort rejects the replicated sender and the competitor
+	// schemes alike, so the registry capability is the gate.
+	if deltasigma.ProtocolSupportsCohorts(sp.Protocol) {
 		for si := range sp.Sessions {
 			if rng.Float64() < 0.3 {
 				n := 1 + rng.IntN(2)

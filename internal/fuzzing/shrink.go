@@ -35,10 +35,21 @@ func failureKey(o Outcome) string {
 // DefaultShrinkBudget bounds how many candidate runs a shrink may spend.
 const DefaultShrinkBudget = 200
 
+// shrinkProtocols orders the registered variants from plainest to most
+// elaborate: the swap pass walks it left to right and keeps the first
+// protocol that still reproduces the failure, so a bug that is not
+// specific to a protected or competitor scheme is reported on the bare
+// FLID-DL baseline.
+var shrinkProtocols = []string{
+	"flid-dl", "abr-cf", "dsc", "mfcc",
+	"flid-ds", "flid-ds-threshold", "flid-ds-replicated",
+}
+
 // Shrink greedily minimizes a failing spec: it tries dropping timeline
 // events, receivers, cross traffic and whole sessions one element at a
-// time — and halving the duration — re-running each candidate and keeping
-// any that still fails. The result is the smallest spec the greedy walk
+// time — plus swapping the protocol toward the plainest variant and
+// halving the duration — re-running each candidate and keeping any that
+// still fails. The result is the smallest spec the greedy walk
 // reaches within budget (0 = DefaultShrinkBudget), together with its
 // outcome; if the input spec does not actually fail it is returned as-is.
 //
@@ -127,6 +138,22 @@ func Shrink(spec Spec, budget int) (Spec, Outcome) {
 			cand.CBRFraction = 0
 			if o, failed := try(cand); failed {
 				spec, out, shrunk = cand, o, true
+			}
+		}
+
+		// Swap toward a plainer protocol that still reproduces. Candidates
+		// that cannot host the spec — attackers on an attackerless scheme,
+		// cohorts on a protocol with no layered aggregate — fail with a
+		// different key and are rejected, so validity needs no special care.
+		for _, name := range shrinkProtocols {
+			if name == spec.Protocol {
+				break // already at an equally plain or plainer variant
+			}
+			cand := clone(spec)
+			cand.Protocol = name
+			if o, failed := try(cand); failed {
+				spec, out, shrunk = cand, o, true
+				break
 			}
 		}
 

@@ -1,0 +1,343 @@
+// Package mfcc implements a network-assisted multi-flow congestion control
+// scheme after Thomas et al. (PAPERS.md), as a competitor to the paper's
+// DELTA/SIGMA-protected protocols:
+//
+//   - edge routers periodically divide their upstream bottleneck capacity
+//     by the number of local subscribers and advertise the resulting
+//     per-receiver fair share downstream (packet.ShareHeader);
+//   - receivers translate the advertised share into a layered subscription
+//     level through the session's rate schedule and adjust one group per
+//     slot toward it, with drop-on-loss as a backstop;
+//   - the data plane is the plain FLID-DL layered sender over IGMP.
+//
+// The scheme is network-assisted but not network-enforced: routers compute
+// shares, receivers are trusted to honor them, and membership is plain
+// IGMP. The inflated-subscription attacker therefore simply ignores the
+// advertisements and joins every group — advertisement without enforcement
+// buys no robustness, which is exactly the comparison the shoot-out
+// campaign measures.
+package mfcc
+
+import (
+	"sort"
+
+	"deltasigma/internal/core"
+	"deltasigma/internal/mcast"
+	"deltasigma/internal/netsim"
+	"deltasigma/internal/packet"
+	"deltasigma/internal/sim"
+	"deltasigma/internal/stats"
+)
+
+// guardFraction mirrors the FLID receiver's evaluation guard: how far into
+// the next slot a receiver waits before judging a slot, so queue-delayed
+// packets still count.
+const guardFraction = 0.8
+
+// tallyW is the per-receiver tally window in slots; evaluation lags
+// arrival by at most one slot, so a small power-of-two ring suffices.
+const tallyW = 4
+
+// EdgeAgent is the router-resident half of the scheme: once per slot it
+// divides the router's upstream bottleneck capacity by the local
+// subscriber count of each session and unicasts the resulting fair share
+// to every subscriber.
+type EdgeAgent struct {
+	router   *mcast.Router
+	sessions []*core.Session
+	running  bool
+
+	// SharesSent counts advertisement packets emitted.
+	SharesSent uint64
+}
+
+// NewEdgeAgent builds the advertiser for one gatekept edge router serving
+// the given sessions.
+func NewEdgeAgent(r *mcast.Router, sessions []*core.Session) *EdgeAgent {
+	return &EdgeAgent{router: r, sessions: sessions}
+}
+
+// Start begins the per-slot advertisement loop, phase-shifted half a slot
+// so receivers hear a fresh share before each slot-end evaluation.
+func (a *EdgeAgent) Start() {
+	if a.running || len(a.sessions) == 0 {
+		return
+	}
+	a.running = true
+	period := a.sessions[0].SlotDur
+	sched := a.router.Network().Scheduler()
+	sched.At(sched.Now()+period/2, func() { a.advertise(period) })
+}
+
+// Stop halts the advertisement loop.
+func (a *EdgeAgent) Stop() { a.running = false }
+
+func (a *EdgeAgent) advertise(period sim.Time) {
+	if !a.running {
+		return
+	}
+	net := a.router.Network()
+	up := a.uplinkBps()
+	for _, sess := range a.sessions {
+		subs := a.subscribers(sess)
+		if len(subs) == 0 {
+			continue
+		}
+		share := up / int64(len(subs))
+		for _, dst := range subs {
+			hdr := &packet.ShareHeader{
+				Session:     sess.ID,
+				ShareBps:    share,
+				Subscribers: uint32(len(subs)),
+			}
+			a.router.SendLocal(net.NewPacket(a.router.Addr(), dst, 0, hdr))
+			a.SharesSent++
+		}
+	}
+	sched := net.Scheduler()
+	sched.Schedule(sched.Now()+period, func() { a.advertise(period) })
+}
+
+// uplinkBps is the capacity the router divides among subscribers: the
+// slowest link feeding it from the network core (access links from local
+// hosts do not count). Re-read every period so capacity timeline events
+// show up in the next advertisement.
+func (a *EdgeAgent) uplinkBps() int64 {
+	net := a.router.Network()
+	var min int64
+	for _, l := range net.Links() {
+		if l.To().ID() != a.router.ID() {
+			continue
+		}
+		if _, isHost := l.From().(*netsim.Host); isHost {
+			continue
+		}
+		if min == 0 || l.Rate < min {
+			min = l.Rate
+		}
+	}
+	return min
+}
+
+// subscribers lists the local hosts currently entitled to the session's
+// minimal group, in address order for determinism.
+func (a *EdgeAgent) subscribers(sess *core.Session) []packet.Addr {
+	gate := a.router.Gatekeeper()
+	if gate == nil {
+		return nil
+	}
+	g1 := sess.GroupAddr(1)
+	var out []packet.Addr
+	for addr := range a.router.Locals() {
+		if gate.Deliver(g1, addr) {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Receiver is a well-behaved mfcc receiver: it follows the advertised fair
+// share, moving one group per slot toward the level the share affords, and
+// drops a group on any lossy slot regardless of the advertisement.
+type Receiver struct {
+	Sess *core.Session
+	host *netsim.Host
+	igmp *mcast.Client
+
+	running bool
+	level   int
+	target  int // fair level from the latest advertisement (0 before any)
+	loop    *core.SlotLoop
+
+	tags   [tallyW]uint32
+	got    []uint16 // tallyW rows of N groups
+	expect []uint16
+	joined []uint32 // joined[g-1]: first fully observed slot of group g
+
+	// Meter records delivered session bytes.
+	Meter *stats.Meter
+	// Decreases and Increases count subscription moves; SharesHeard counts
+	// advertisements consumed.
+	Decreases, Increases uint64
+	SharesHeard          uint64
+}
+
+// NewReceiver builds an mfcc receiver on host, managing membership through
+// the edge router at routerAddr.
+func NewReceiver(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Receiver {
+	n := sess.Rates.N
+	r := &Receiver{
+		Sess:   sess,
+		host:   host,
+		igmp:   mcast.NewClient(host, routerAddr),
+		got:    make([]uint16, tallyW*n),
+		expect: make([]uint16, tallyW*n),
+		joined: make([]uint32, n),
+		Meter:  stats.NewMeter(sim.Second),
+	}
+	r.loop = core.NewSlotLoop(host.Scheduler(), sess,
+		sim.Time(guardFraction*float64(sess.SlotDur)), r.onEval)
+	host.Handle(packet.ProtoFLID, r.onData)
+	host.Handle(packet.ProtoShare, r.onShare)
+	return r
+}
+
+// Level reports the current subscription level.
+func (r *Receiver) Level() int { return r.level }
+
+// Start joins the session at the minimal level.
+func (r *Receiver) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	cur := r.Sess.SlotAt(r.host.Scheduler().Now())
+	r.level = 1
+	r.joined[0] = cur + 1
+	r.igmp.Join(r.Sess.GroupAddr(1))
+	r.loop.Schedule(cur)
+}
+
+// Stop leaves every group and halts evaluation.
+func (r *Receiver) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	for g := 1; g <= r.level; g++ {
+		r.igmp.Leave(r.Sess.GroupAddr(g))
+	}
+	r.level = 0
+	r.target = 0
+}
+
+func (r *Receiver) onShare(pkt *packet.Packet) {
+	h, ok := pkt.Header.(*packet.ShareHeader)
+	if !ok || h.Session != r.Sess.ID || !r.running {
+		return
+	}
+	r.SharesHeard++
+	t := r.Sess.Rates.FairLevel(h.ShareBps)
+	if t < 1 {
+		t = 1 // the minimal group is the session floor
+	}
+	if t > r.Sess.Rates.N {
+		t = r.Sess.Rates.N
+	}
+	r.target = t
+}
+
+func (r *Receiver) onData(pkt *packet.Packet) {
+	h, ok := pkt.Header.(*packet.FLIDHeader)
+	if !ok || h.Session != r.Sess.ID {
+		return
+	}
+	r.Meter.Add(r.host.Scheduler().Now(), pkt.Size)
+	g := int(h.Group)
+	if g < 1 || g > r.Sess.Rates.N {
+		return
+	}
+	idx := int(h.Slot) & (tallyW - 1)
+	if r.tags[idx] != h.Slot {
+		r.tags[idx] = h.Slot
+		row := r.got[idx*r.Sess.Rates.N : (idx+1)*r.Sess.Rates.N]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	r.got[idx*r.Sess.Rates.N+g-1]++
+	r.expect[idx*r.Sess.Rates.N+g-1] = h.Count
+}
+
+func (r *Receiver) onEval(slot uint32) bool {
+	if !r.running {
+		return false
+	}
+	r.evaluate(slot)
+	return true
+}
+
+// evaluate judges the finished slot: loss drops the top group (and caps
+// the target until the next advertisement raises it again); a clean slot
+// moves one group toward the advertised fair level.
+func (r *Receiver) evaluate(slot uint32) {
+	if r.level == 0 {
+		return
+	}
+	n := r.Sess.Rates.N
+	idx := int(slot) & (tallyW - 1)
+	has := r.tags[idx] == slot
+	loss := false
+	for g := 1; g <= r.level; g++ {
+		if r.joined[g-1] > slot {
+			continue // not yet a full member for this slot
+		}
+		got := r.got[idx*n+g-1]
+		if !has || got == 0 || got < r.expect[idx*n+g-1] {
+			loss = true
+			break
+		}
+	}
+	switch {
+	case loss && r.level > 1:
+		r.igmp.Leave(r.Sess.GroupAddr(r.level))
+		r.level--
+		r.Decreases++
+		if r.target > r.level {
+			r.target = r.level
+		}
+	case loss:
+		// At the minimal level the receiver stays subscribed.
+	case r.target > r.level && r.level < n:
+		r.level++
+		r.joined[r.level-1] = slot + 2
+		r.igmp.Join(r.Sess.GroupAddr(r.level))
+		r.Increases++
+	}
+}
+
+// Attacker is the inflated-subscription misbehaver against mfcc: the
+// advertised shares are advice, membership is plain IGMP, so the attacker
+// ignores both and joins every group — structurally the same attack as
+// against FLID-DL.
+type Attacker struct {
+	*Receiver
+	igmpAtk  *mcast.Client
+	inflated bool
+}
+
+// NewAttacker builds an mfcc attacker on host.
+func NewAttacker(host *netsim.Host, sess *core.Session, routerAddr packet.Addr) *Attacker {
+	return &Attacker{
+		Receiver: NewReceiver(host, sess, routerAddr),
+		igmpAtk:  mcast.NewClient(host, routerAddr),
+	}
+}
+
+// Inflate switches to full-subscription misbehaviour.
+func (a *Attacker) Inflate() {
+	if a.inflated {
+		return
+	}
+	a.inflated = true
+	a.Receiver.Stop()
+	for g := 1; g <= a.Sess.Rates.N; g++ {
+		a.igmpAtk.Join(a.Sess.GroupAddr(g))
+	}
+}
+
+// Deflate withdraws the attack and resumes well-behaved control.
+func (a *Attacker) Deflate() {
+	if !a.inflated {
+		return
+	}
+	a.inflated = false
+	for g := 1; g <= a.Sess.Rates.N; g++ {
+		a.igmpAtk.Leave(a.Sess.GroupAddr(g))
+	}
+	a.Receiver.Start()
+}
+
+// Inflated reports whether the attack is active.
+func (a *Attacker) Inflated() bool { return a.inflated }

@@ -179,6 +179,10 @@ func encodeHeader(buf []byte, h Header) error {
 		buf[14] = t.MaxLevel
 		buf[15] = b2u8(t.Congested)
 		binary.BigEndian.PutUint32(buf[16:], t.Reports)
+	case *ShareHeader:
+		binary.BigEndian.PutUint16(buf[0:], t.Session)
+		binary.BigEndian.PutUint64(buf[2:], uint64(t.ShareBps))
+		binary.BigEndian.PutUint32(buf[10:], t.Subscribers)
 	default:
 		return fmt.Errorf("packet: cannot encode header type %T", h)
 	}
@@ -322,6 +326,15 @@ func decodeHeader(proto Proto, buf []byte) (Header, error) {
 		t.MaxLevel = buf[14]
 		t.Congested = buf[15] != 0
 		t.Reports = binary.BigEndian.Uint32(buf[16:])
+		return &t, nil
+	case ProtoShare:
+		var t ShareHeader
+		if len(buf) < t.WireLen() {
+			return nil, errors.New("packet: short share header")
+		}
+		t.Session = binary.BigEndian.Uint16(buf[0:])
+		t.ShareBps = int64(binary.BigEndian.Uint64(buf[2:]))
+		t.Subscribers = binary.BigEndian.Uint32(buf[10:])
 		return &t, nil
 	default:
 		return nil, fmt.Errorf("packet: cannot decode protocol %v", proto)

@@ -179,6 +179,23 @@ func (*FeedbackHeader) HeaderProto() Proto { return ProtoFeedback }
 // WireLen implements Header.
 func (*FeedbackHeader) WireLen() int { return 2 + 4 + 8 + 1 + 1 + 4 }
 
+// ShareHeader is a network-assisted fair-share advertisement (the mfcc
+// scheme after Thomas et al., PAPERS.md): the edge router divides its
+// upstream bottleneck capacity by the subscribers it currently serves and
+// unicasts the resulting per-receiver share downstream. Receivers translate
+// the share into a subscription level; nothing enforces that they do.
+type ShareHeader struct {
+	Session     uint16
+	ShareBps    int64  // advertised fair share in bits/s
+	Subscribers uint32 // local subscribers the router divided capacity by
+}
+
+// HeaderProto implements Header.
+func (*ShareHeader) HeaderProto() Proto { return ProtoShare }
+
+// WireLen implements Header.
+func (*ShareHeader) WireLen() int { return 2 + 8 + 4 }
+
 // KeyTuple binds a group address to the keys that open it for one time
 // slot: the top key always, the decrease key for groups 2..N (it unlocks
 // the group below), and the increase key when the protocol authorized an

@@ -46,10 +46,11 @@ const (
 	ProtoRepl                     // replicated multicast data (Figure 5 protocol)
 	ProtoIGMP                     // plain IGMP join/leave (the insecure baseline)
 	ProtoFeedback                 // consolidated receiver feedback report
+	ProtoShare                    // network-assisted fair-share advertisement (mfcc)
 	protoMax
 )
 
-var protoNames = [...]string{"none", "flid", "tcp", "cbr", "sigma", "keyann", "repl", "igmp", "feedback"}
+var protoNames = [...]string{"none", "flid", "tcp", "cbr", "sigma", "keyann", "repl", "igmp", "feedback", "share"}
 
 // String names the protocol.
 func (p Proto) String() string {

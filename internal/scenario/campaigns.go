@@ -125,6 +125,45 @@ var campaigns = []Campaign{
 		},
 	},
 	{
+		Name:        "shootout",
+		Description: "competitor shoot-out: every registered protocol against every attacker model under churn, flapping and swept onset",
+		Build: func(opt Options) deltasigma.Sweep {
+			dur := opt.scale(campaignDuration)
+			strategies := []string{"classic", "adaptive", "forging"}
+			receivers := []int{8}
+			churn := []float64{0, 1}
+			flaps := []sim.Time{0, dur / 5}
+			onsets := []sim.Time{dur / 4, dur / 2}
+			if opt.Scale < 1 {
+				receivers = []int{4}
+				churn = []float64{0}
+				flaps = []sim.Time{0}
+				onsets = []sim.Time{dur / 4}
+			}
+			return deltasigma.Sweep{
+				Name:       "shootout",
+				Protocols:  deltasigma.Protocols(),
+				Receivers:  receivers,
+				Attackers:  []int{1},
+				Strategies: strategies,
+				// The 6-group schedule tops out at ~759 Kbps cumulative, so
+				// the bottleneck must sit below that for inflation to bite:
+				// honest receivers converge around level 4 (~506 Kbps) and an
+				// attacker pulling all six groups overloads the link.
+				Bottlenecks: []int64{500_000},
+				ChurnRates:  churn,
+				AttackAts:   onsets,
+				FlapPeriods: flaps,
+				// One uniform 6-group schedule keeps the head-to-head fair
+				// and fits the replicated sender's summed stream rates
+				// inside the default access links.
+				Schedule: deltasigma.RateSchedule{Base: 100_000, Mult: 1.5, N: 6},
+				Duration: dur,
+				Seeds:    []uint64{opt.Seed},
+			}
+		},
+	},
+	{
 		Name:        "late-attacker",
 		Description: "inflated-subscription onset swept across the session lifetime, FLID-DL vs FLID-DS",
 		Build: func(opt Options) deltasigma.Sweep {

@@ -50,9 +50,13 @@ type Unwrapper interface {
 }
 
 // Protocol builds the agents of one congestion control variant. The four
-// built-in variants — "flid-dl", "flid-ds", "flid-ds-replicated",
-// "flid-ds-threshold" — are registered at init; RegisterProtocol adds
-// custom ones.
+// paper variants — "flid-dl", "flid-ds", "flid-ds-replicated",
+// "flid-ds-threshold" — and the competitor suite — "mfcc", "dsc",
+// "abr-cf" (see rivals.go) — are registered at init; RegisterProtocol adds
+// custom ones. Protocols may additionally implement the optional
+// EdgeAssisted, FeedbackDriven, CohortCapable and AttackerCapable
+// interfaces to hook router participation, feedback consolidation, cohort
+// aggregation and attacker availability.
 type Protocol interface {
 	// Name is the registry key.
 	Name() string
@@ -229,6 +233,10 @@ func (ReplicatedProtocol) NewReceiver(host *Host, sess *Session, edge Addr) Rece
 func (ReplicatedProtocol) NewAttacker(host *Host, sess *Session, edge Addr, rng *RNG) (ReceiverAgent, error) {
 	return replAttacker{replicated.NewAttacker(host, sess, edge, rng)}, nil
 }
+
+// SupportsCohorts implements CohortCapable: replicated sessions carry
+// ProtoRepl data the layered fluid aggregate never observes.
+func (ReplicatedProtocol) SupportsCohorts() bool { return false }
 
 type replReceiver struct{ *replicated.Receiver }
 

@@ -215,6 +215,10 @@ func TestSweepGoldenSharded(t *testing.T) {
 		{"sweep", goldenSweep(), "sweep_golden.json"},
 		{"churn", dynamicsSweep(), "churn_golden.json"},
 		{"million", millionSweep(), "million_golden.json"},
+		// Every shootout point carries an attacker, so the shard request
+		// falls back to serial on each — the trivial but load-bearing claim
+		// that a -sweep-shards run cannot move the competitor numbers.
+		{"shootout", shootoutSweep(), "shootout_golden.json"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -79,6 +79,9 @@ type SweepPoint struct {
 	Topology  string `json:"topology"`
 	Receivers int    `json:"receivers"`
 	Attackers int    `json:"attackers"`
+	// Strategy selects the attacker behaviour (AttackerStrategy) for every
+	// attacker of the point; empty means the classic plain inflator.
+	Strategy string `json:"strategy,omitempty"`
 	// Cohort, when positive, adds one aggregated population of that many
 	// well-behaved receivers (see ExperimentSession.AddCohort) alongside
 	// the exact Receivers and Attackers.
@@ -108,6 +111,9 @@ type SweepPoint struct {
 func (p SweepPoint) String() string {
 	s := fmt.Sprintf("%s/%s r=%d a=%d cap=%d seed=%d",
 		p.Protocol, p.Topology, p.Receivers, p.Attackers, p.BottleneckBps, p.Seed)
+	if p.Strategy != "" {
+		s += " strat=" + p.Strategy
+	}
 	if p.Cohort > 0 {
 		s += fmt.Sprintf(" cohort=%d", p.Cohort)
 	}
@@ -152,6 +158,7 @@ type Sweep struct {
 	Topologies   []TopologySpec // default {DumbbellSpec()}
 	Receivers    []int          // well-behaved receivers per point; default {1}
 	Attackers    []int          // attackers per point; default {0}
+	Strategies   []string       // attacker strategies; "" = classic; default {""}
 	Cohorts      []int          // aggregated population per point; 0 = none; default {0}
 	Bottlenecks  []int64        // bottleneck bits/s; default {1_000_000}
 	Slots        []Time         // slot durations; 0 = protocol default; default {0}
@@ -236,7 +243,7 @@ func (c *CampaignResult) JSON() ([]byte, error) {
 func (c *CampaignResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"protocol", "topology", "receivers", "attackers", "cohort", "bottleneck_bps",
+		"protocol", "topology", "receivers", "attackers", "strategy", "cohort", "bottleneck_bps",
 		"slot_ms", "delay_spread_ms", "churn_rate", "attack_at_ms", "flap_period_ms", "seed",
 		"good_mean_kbps", "good_p10_kbps", "good_p50_kbps", "good_p90_kbps",
 		"attacker_mean_kbps", "suppression", "utilization", "lost_packets", "error",
@@ -248,6 +255,7 @@ func (c *CampaignResult) WriteCSV(w io.Writer) error {
 		err := cw.Write([]string{
 			p.Protocol, p.Topology,
 			strconv.Itoa(p.Receivers), strconv.Itoa(p.Attackers),
+			p.Strategy,
 			strconv.Itoa(p.Cohort),
 			strconv.FormatInt(p.BottleneckBps, 10),
 			strconv.FormatFloat(float64(p.SlotNs)/float64(Millisecond), 'g', -1, 64),
@@ -280,6 +288,7 @@ type axes struct {
 	topologies   []TopologySpec
 	receivers    []int
 	attackers    []int
+	strategies   []string
 	cohorts      []int
 	bottlenecks  []int64
 	slots        []Time
@@ -310,6 +319,7 @@ func (sw Sweep) normalize() (axes, error) {
 		topologies:   sw.Topologies,
 		receivers:    orInts(sw.Receivers, 1),
 		attackers:    orInts(sw.Attackers, 0),
+		strategies:   sw.Strategies,
 		cohorts:      orInts(sw.Cohorts, 0),
 		bottlenecks:  sw.Bottlenecks,
 		slots:        sw.Slots,
@@ -345,6 +355,9 @@ func (sw Sweep) normalize() (axes, error) {
 	}
 	if len(a.flapPeriods) == 0 {
 		a.flapPeriods = []Time{0}
+	}
+	if len(a.strategies) == 0 {
+		a.strategies = []string{""}
 	}
 	if len(a.seeds) == 0 {
 		a.seeds = []uint64{1}
@@ -411,6 +424,13 @@ func (sw Sweep) normalize() (axes, error) {
 			return axes{}, fmt.Errorf("deltasigma: sweep cohort population %d is negative", n)
 		}
 	}
+	for _, st := range a.strategies {
+		switch AttackerStrategy(st) {
+		case "", StrategyClassic, StrategyColluding, StrategyAdaptive, StrategyForging:
+		default:
+			return axes{}, fmt.Errorf("deltasigma: sweep attacker strategy %q is not one of %v", st, AttackerStrategies())
+		}
+	}
 	for _, c := range a.bottlenecks {
 		if c <= 0 {
 			return axes{}, fmt.Errorf("deltasigma: sweep bottleneck %d must be positive", c)
@@ -432,8 +452,9 @@ func (sw Sweep) normalize() (axes, error) {
 func (a axes) grid() (campaign.Grid, error) {
 	return campaign.NewGrid(
 		len(a.protocols), len(a.topologies), len(a.receivers), len(a.attackers),
-		len(a.cohorts), len(a.bottlenecks), len(a.slots), len(a.delaySpreads),
-		len(a.churnRates), len(a.attackAts), len(a.flapPeriods), len(a.seeds))
+		len(a.strategies), len(a.cohorts), len(a.bottlenecks), len(a.slots),
+		len(a.delaySpreads), len(a.churnRates), len(a.attackAts), len(a.flapPeriods),
+		len(a.seeds))
 }
 
 // point materializes grid coordinates into a SweepPoint and its topology
@@ -445,14 +466,15 @@ func (a axes) point(coords []int) (SweepPoint, TopologySpec) {
 		Topology:      spec.Name,
 		Receivers:     a.receivers[coords[2]],
 		Attackers:     a.attackers[coords[3]],
-		Cohort:        a.cohorts[coords[4]],
-		BottleneckBps: a.bottlenecks[coords[5]],
-		SlotNs:        a.slots[coords[6]],
-		DelaySpreadNs: a.delaySpreads[coords[7]],
-		ChurnRate:     a.churnRates[coords[8]],
-		AttackAtNs:    a.attackAts[coords[9]],
-		FlapPeriodNs:  a.flapPeriods[coords[10]],
-		Seed:          a.seeds[coords[11]],
+		Strategy:      a.strategies[coords[4]],
+		Cohort:        a.cohorts[coords[5]],
+		BottleneckBps: a.bottlenecks[coords[6]],
+		SlotNs:        a.slots[coords[7]],
+		DelaySpreadNs: a.delaySpreads[coords[8]],
+		ChurnRate:     a.churnRates[coords[9]],
+		AttackAtNs:    a.attackAts[coords[10]],
+		FlapPeriodNs:  a.flapPeriods[coords[11]],
+		Seed:          a.seeds[coords[12]],
 	}, spec
 }
 
@@ -593,7 +615,20 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 		s.AddReceiverDelay(delay)
 	}
 	for i := 0; i < p.Attackers; i++ {
-		s.AddAttacker()
+		// The classic path goes through TryAddAttacker so attackerless
+		// protocols (ProtocolHasAttacker false) surface their typed
+		// *NoAttackerError as the point's Error instead of panicking the
+		// campaign; RNG draws are identical to AddAttacker, keeping goldens
+		// stable.
+		var err error
+		if p.Strategy == "" {
+			_, err = s.TryAddAttacker()
+		} else {
+			_, err = s.TryAddAttackerStrategy(AttackerStrategy(p.Strategy))
+		}
+		if err != nil {
+			return pr, err
+		}
 	}
 	if p.Cohort > 0 {
 		s.AddCohort(p.Cohort)
@@ -601,7 +636,10 @@ func (sw Sweep) runPoint(a axes, p SweepPoint, spec TopologySpec, pool *packet.P
 	// Mid-run dynamics all ride the experiment timeline: attacker onset,
 	// Poisson membership churn and bottleneck flapping are the same
 	// mechanism a caller scripts through WithTimeline.
-	if p.Attackers > 0 {
+	if p.Attackers > 0 && AttackerStrategy(p.Strategy) != StrategyAdaptive {
+		// Adaptive attackers compile their own onset from the declared
+		// disturbances (churn/flap events below); a scripted AttackerOnset
+		// on top would fight their inflation windows.
 		onset := a.attackAt
 		if p.AttackAtNs > 0 {
 			onset = p.AttackAtNs
